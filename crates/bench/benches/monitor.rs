@@ -1,0 +1,39 @@
+//! B2 — activity-monitor cost: full deterministic runs of one `A(p, q)`
+//! pair until (well past) status convergence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tbwf_monitor::fig2::activity_monitor;
+use tbwf_registers::RegisterFactory;
+use tbwf_sim::schedule::RoundRobin;
+use tbwf_sim::{ProcId, RunConfig, SimBuilder};
+
+fn run_pair(steps: u64) {
+    let factory = RegisterFactory::default();
+    let pair = activity_monitor(&factory, ProcId(0), ProcId(1));
+    pair.monitoring_side.monitoring.set(true);
+    pair.monitored_side.active_for.set(true);
+    let mut b = SimBuilder::new();
+    let p0 = b.add_process("p0");
+    let ms = pair.monitoring_side;
+    b.add_task(p0, "monitoring", move |env| ms.run(&env));
+    let p1 = b.add_process("p1");
+    let md = pair.monitored_side;
+    b.add_task(p1, "monitored", move |env| md.run(&env));
+    let report = b.build().run(RunConfig::new(steps, RoundRobin::new()));
+    report.assert_no_panics();
+}
+
+fn monitor_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monitor-pair-run");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for steps in [1_000u64, 4_000, 16_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &steps| {
+            b.iter(|| run_pair(steps))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, monitor_runs);
+criterion_main!(benches);

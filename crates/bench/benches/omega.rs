@@ -1,0 +1,41 @@
+//! B3 — Ω∆ election runs: atomic-register (Fig. 3) vs abortable-register
+//! (Figs. 4–6) implementations across system sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tbwf_omega::{run_omega_system, CandidateScript, OmegaKind, OmegaSystemConfig};
+use tbwf_sim::schedule::RoundRobin;
+use tbwf_sim::RunConfig;
+
+fn election_run(n: usize, kind: OmegaKind, steps: u64) {
+    let cfg = OmegaSystemConfig {
+        n,
+        kind,
+        scripts: vec![CandidateScript::Always; n],
+        ..Default::default()
+    };
+    let out = run_omega_system(&cfg, RunConfig::new(steps, RoundRobin::new()));
+    out.report.assert_no_panics();
+    assert!(
+        out.handles[0].leader.get().is_some(),
+        "no leader elected in bench run"
+    );
+}
+
+fn omega_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("omega-election-run");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for n in [2usize, 4] {
+        let steps = 20_000 * n as u64;
+        g.bench_with_input(BenchmarkId::new("atomic", n), &n, |b, &n| {
+            b.iter(|| election_run(n, OmegaKind::Atomic, steps))
+        });
+        g.bench_with_input(BenchmarkId::new("abortable", n), &n, |b, &n| {
+            b.iter(|| election_run(n, OmegaKind::Abortable, steps))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, omega_runs);
+criterion_main!(benches);

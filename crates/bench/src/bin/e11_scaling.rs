@@ -1,0 +1,77 @@
+//! **E11 — Scaling with the number of processes** (synthetic figure; the
+//! paper has no evaluation section, see EXPERIMENTS.md).
+//!
+//! Two series as n grows:
+//!
+//! 1. **Election convergence** — global steps until the last leader-output
+//!    change, for both Ω∆ implementations, all processes permanent timely
+//!    candidates. Expected shape: grows with n (the atomic backend pays
+//!    the monitor mesh — each process hosts 2(n−1) monitor tasks, so a
+//!    full Figure 3 iteration takes Θ(n) of the process's steps and each
+//!    process gets 1/n of the global steps ⇒ ≳ quadratic growth; the
+//!    abortable backend pays per-pair channels similarly).
+//! 2. **TBWF throughput** — total and per-process completed increments in
+//!    a fixed budget of global steps. Expected shape: total throughput
+//!    falls with n (each completed operation pays a canonical leadership
+//!    rotation whose cost grows with n), while fairness holds: the
+//!    minimum per-process count stays positive.
+
+use tbwf::prelude::*;
+use tbwf_bench::print_table;
+use tbwf_omega::spec::convergence_time;
+
+fn main() {
+    println!("E11: scaling with n (all processes timely, round-robin)\n");
+
+    println!("Series 1: election convergence (steps until last leader change)");
+    let mut rows = Vec::new();
+    for n in [2usize, 3, 4, 6, 8] {
+        let steps = 120_000 * n as u64;
+        let mut cells = vec![n.to_string()];
+        for kind in [OmegaKind::Atomic, OmegaKind::Abortable] {
+            let cfg = OmegaSystemConfig {
+                n,
+                kind,
+                scripts: vec![CandidateScript::Always; n],
+                ..Default::default()
+            };
+            let out = run_omega_system(&cfg, RunConfig::new(steps, RoundRobin::new()));
+            out.report.assert_no_panics();
+            assert!(
+                out.handles[0].leader.get().is_some(),
+                "n={n} {kind:?}: no leader elected"
+            );
+            cells.push(convergence_time(&out.report.trace, n).to_string());
+        }
+        rows.push(cells);
+    }
+    print_table(&["n", "atomic conv@", "abortable conv@"], &rows);
+
+    println!("\nSeries 2: TBWF counter throughput in 300k global steps");
+    let mut rows = Vec::new();
+    for n in [2usize, 3, 4, 6, 8] {
+        let run = TbwfSystemBuilder::new(Counter)
+            .processes(n)
+            .omega(OmegaKind::Abortable)
+            .seed(0xE11)
+            .workload_all(Workload::Unlimited(CounterOp::Inc))
+            .run(RunConfig::new(300_000, RoundRobin::new()));
+        run.report.assert_no_panics();
+        let total: u64 = run.completed.iter().sum();
+        let min = *run.completed.iter().min().unwrap();
+        assert!(
+            min > 0,
+            "n={n}: a timely process starved: {:?}",
+            run.completed
+        );
+        rows.push(vec![
+            n.to_string(),
+            total.to_string(),
+            min.to_string(),
+            format!("{:.1}", total as f64 / n as f64),
+        ]);
+    }
+    print_table(&["n", "total ops", "min per proc", "mean per proc"], &rows);
+    println!("\nshape: convergence grows with n; total throughput falls with n;");
+    println!("fairness (min per proc > 0) holds at every n ok");
+}

@@ -1,0 +1,99 @@
+//! `explore` — an interactive-ish CLI for poking at TBWF runs.
+//!
+//! Runs a counter workload under a chosen schedule and prints the
+//! per-process completions, the leader timeline, and an ASCII step
+//! timeline — the quickest way to *see* partial synchrony and graceful
+//! degradation.
+//!
+//! ```text
+//! cargo run --release -p tbwf-bench --bin explore -- \
+//!     [n] [steps] [schedule] [omega]
+//!
+//! n         number of processes            (default 4)
+//! steps     run length in global steps     (default 200000)
+//! schedule  rr | partial:<k> | flicker | random:<seed> | solo:<p>
+//!                                          (default rr)
+//! omega     atomic | abortable             (default atomic)
+//! ```
+
+use tbwf::prelude::*;
+use tbwf_omega::OBS_LEADER;
+
+fn parse_schedule(spec: &str, n: usize, steps: u64) -> Box<dyn Schedule> {
+    if let Some(k) = spec.strip_prefix("partial:") {
+        let k: usize = k.parse().expect("partial:<k> needs a number");
+        assert!(k >= 1 && k <= n, "k must be in 1..=n");
+        Box::new(PartiallySynchronous::new(
+            (0..k).map(ProcId).collect(),
+            4,
+            true,
+        ))
+    } else if let Some(seed) = spec.strip_prefix("random:") {
+        Box::new(SeededRandom::new(
+            seed.parse().expect("random:<seed> needs a number"),
+        ))
+    } else if let Some(p) = spec.strip_prefix("solo:") {
+        let p: usize = p.parse().expect("solo:<p> needs a process id");
+        Box::new(SoloAfter::new(steps / 4, ProcId(p)))
+    } else {
+        match spec {
+            "rr" => Box::new(RoundRobin::new()),
+            "flicker" => Box::new(Flicker::new(ProcId(n - 1), 64, 2_000)),
+            other => panic!(
+                "unknown schedule '{other}' (want rr | partial:<k> | flicker | \
+                 random:<seed> | solo:<p>)"
+            ),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = args
+        .first()
+        .map_or(4, |s| s.parse().expect("n must be a number"));
+    let steps: u64 = args
+        .get(1)
+        .map_or(200_000, |s| s.parse().expect("steps must be a number"));
+    let sched_spec = args.get(2).map_or("rr", |s| s.as_str());
+    let omega = match args.get(3).map(|s| s.as_str()) {
+        None | Some("atomic") => OmegaKind::Atomic,
+        Some("abortable") => OmegaKind::Abortable,
+        Some(other) => panic!("unknown omega '{other}' (want atomic | abortable)"),
+    };
+
+    println!("explore: n={n} steps={steps} schedule={sched_spec} omega={omega:?}\n");
+    let schedule = parse_schedule(sched_spec, n, steps);
+    let run = TbwfSystemBuilder::new(Counter)
+        .processes(n)
+        .omega(omega)
+        .workload_all(Workload::Unlimited(CounterOp::Inc))
+        .run(RunConfig {
+            max_steps: steps,
+            crashes: Vec::new(),
+            schedule,
+        });
+    run.report.assert_no_panics();
+
+    println!("completed operations per process: {:?}", run.completed);
+    let measured = tbwf_sim::timeliness::measured_timely_set(&run.report.trace.steps, n, &[]);
+    println!("measured timely set:              {measured:?}\n");
+
+    println!(
+        "step timeline (one column ≈ {} steps; ' .:#' = share of steps):",
+        steps / 64
+    );
+    print!(
+        "{}",
+        run.report.trace.ascii_timeline(n, (steps / 64).max(1))
+    );
+
+    println!("\nleader timeline at p0 (last 8 changes):");
+    let series = run.report.trace.obs_series(ProcId(0), OBS_LEADER, 0);
+    for (t, v) in series.iter().rev().take(8).rev() {
+        let who = if *v < 0 { "?".into() } else { format!("p{v}") };
+        println!("  t={t:<8} leader = {who}");
+    }
+    assert_run_linearizable(&Counter, &run);
+    println!("\nhistory linearizable ok");
+}

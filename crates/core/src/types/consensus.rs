@@ -1,0 +1,86 @@
+//! A consensus object as a sequential type — the corollary of the
+//! paper's Section 1.2: since Ω∆ (and hence the TBWF transform) works
+//! from abortable registers, *consensus is solvable from abortable
+//! registers provided at least one process is timely*, by wrapping this
+//! decide-once type with the TBWF construction.
+//!
+//! The sequential semantics is write-once: the first `Propose(v)` decides
+//! `v`; every operation (including the deciding one) responds with the
+//! decided value. Validity, agreement, and integrity are then immediate
+//! from the linearizability of the TBWF object; termination for timely
+//! processes is exactly the TBWF progress condition.
+
+use tbwf_universal::ObjectType;
+
+/// A single-shot consensus object over `i64` proposals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Consensus;
+
+/// Operations of [`Consensus`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConsensusOp {
+    /// Propose a value; responds with the decided value (the proposal
+    /// itself if this operation decided).
+    Propose(i64),
+    /// Read the decision, if any.
+    ReadDecision,
+}
+
+/// Responses of [`Consensus`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConsensusResp {
+    /// The decided value.
+    Decided(i64),
+    /// No proposal has been decided yet (only from `ReadDecision`).
+    Undecided,
+}
+
+impl ObjectType for Consensus {
+    type State = Option<i64>;
+    type Op = ConsensusOp;
+    type Resp = ConsensusResp;
+
+    fn initial(&self) -> Option<i64> {
+        None
+    }
+
+    fn apply(&self, state: &mut Option<i64>, op: &ConsensusOp) -> ConsensusResp {
+        match op {
+            ConsensusOp::Propose(v) => {
+                let decided = *state.get_or_insert(*v);
+                ConsensusResp::Decided(decided)
+            }
+            ConsensusOp::ReadDecision => match state {
+                Some(v) => ConsensusResp::Decided(*v),
+                None => ConsensusResp::Undecided,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_proposal_wins() {
+        let t = Consensus;
+        let mut s = t.initial();
+        assert_eq!(
+            t.apply(&mut s, &ConsensusOp::ReadDecision),
+            ConsensusResp::Undecided
+        );
+        assert_eq!(
+            t.apply(&mut s, &ConsensusOp::Propose(7)),
+            ConsensusResp::Decided(7)
+        );
+        assert_eq!(
+            t.apply(&mut s, &ConsensusOp::Propose(9)),
+            ConsensusResp::Decided(7)
+        );
+        assert_eq!(
+            t.apply(&mut s, &ConsensusOp::ReadDecision),
+            ConsensusResp::Decided(7)
+        );
+    }
+}

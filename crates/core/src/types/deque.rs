@@ -1,0 +1,83 @@
+//! A double-ended queue — the motivating type of the obstruction-freedom
+//! paper (Herlihy, Luchangco, Moir, ICDCS 2003), reference \[10\].
+
+use std::collections::VecDeque;
+use tbwf_universal::ObjectType;
+
+/// A double-ended queue of `i64` values.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Deque;
+
+/// Operations of [`Deque`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DequeOp {
+    /// Push at the left end.
+    PushLeft(i64),
+    /// Push at the right end.
+    PushRight(i64),
+    /// Pop from the left end.
+    PopLeft,
+    /// Pop from the right end.
+    PopRight,
+}
+
+/// Responses of [`Deque`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DequeResp {
+    /// Response to pushes.
+    Pushed,
+    /// Response to pops (`None` when empty).
+    Popped(Option<i64>),
+}
+
+impl ObjectType for Deque {
+    type State = VecDeque<i64>;
+    type Op = DequeOp;
+    type Resp = DequeResp;
+
+    fn initial(&self) -> VecDeque<i64> {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &mut VecDeque<i64>, op: &DequeOp) -> DequeResp {
+        match op {
+            DequeOp::PushLeft(v) => {
+                state.push_front(*v);
+                DequeResp::Pushed
+            }
+            DequeOp::PushRight(v) => {
+                state.push_back(*v);
+                DequeResp::Pushed
+            }
+            DequeOp::PopLeft => DequeResp::Popped(state.pop_front()),
+            DequeOp::PopRight => DequeResp::Popped(state.pop_back()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_ends_work() {
+        let t = Deque;
+        let mut s = t.initial();
+        t.apply(&mut s, &DequeOp::PushLeft(1));
+        t.apply(&mut s, &DequeOp::PushRight(2));
+        t.apply(&mut s, &DequeOp::PushLeft(0));
+        assert_eq!(
+            t.apply(&mut s, &DequeOp::PopRight),
+            DequeResp::Popped(Some(2))
+        );
+        assert_eq!(
+            t.apply(&mut s, &DequeOp::PopLeft),
+            DequeResp::Popped(Some(0))
+        );
+        assert_eq!(
+            t.apply(&mut s, &DequeOp::PopLeft),
+            DequeResp::Popped(Some(1))
+        );
+        assert_eq!(t.apply(&mut s, &DequeOp::PopLeft), DequeResp::Popped(None));
+    }
+}

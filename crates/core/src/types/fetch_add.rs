@@ -1,0 +1,42 @@
+//! A fetch-and-add cell.
+
+use tbwf_universal::ObjectType;
+
+/// A fetch-and-add object over `i64`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FetchAdd;
+
+/// The single operation of [`FetchAdd`]: add a delta, respond with the
+/// *previous* value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FetchAddOp(pub i64);
+
+impl ObjectType for FetchAdd {
+    type State = i64;
+    type Op = FetchAddOp;
+    type Resp = i64;
+
+    fn initial(&self) -> i64 {
+        0
+    }
+
+    fn apply(&self, state: &mut i64, op: &FetchAddOp) -> i64 {
+        let old = *state;
+        *state += op.0;
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_previous_value() {
+        let t = FetchAdd;
+        let mut s = t.initial();
+        assert_eq!(t.apply(&mut s, &FetchAddOp(5)), 0);
+        assert_eq!(t.apply(&mut s, &FetchAddOp(-2)), 5);
+        assert_eq!(s, 3);
+    }
+}

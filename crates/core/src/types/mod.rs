@@ -1,0 +1,26 @@
+//! Sequential object types for the universal constructions.
+//!
+//! Each type is a deterministic state machine implementing
+//! [`ObjectType`](tbwf_universal::ObjectType); any of them can be wrapped
+//! by the TBWF transform (Theorem 15: *every* type has a TBWF
+//! implementation from abortable registers). The double-ended queue is
+//! the motivating type of the obstruction-freedom paper \[10\] cited in
+//! the introduction.
+
+mod cas_obj;
+mod consensus;
+mod deque;
+mod fetch_add;
+mod queue;
+mod regfile;
+mod snapshot;
+mod stack;
+
+pub use cas_obj::{CasObject, CasOp, CasResp};
+pub use consensus::{Consensus, ConsensusOp, ConsensusResp};
+pub use deque::{Deque, DequeOp, DequeResp};
+pub use fetch_add::{FetchAdd, FetchAddOp};
+pub use queue::{Queue, QueueOp, QueueResp};
+pub use regfile::{RegFile, RegFileOp, RegFileResp};
+pub use snapshot::{Snapshot, SnapshotOp, SnapshotResp};
+pub use stack::{Stack, StackOp, StackResp};

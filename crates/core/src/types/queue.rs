@@ -1,0 +1,62 @@
+//! A FIFO queue of `i64` values.
+
+use std::collections::VecDeque;
+use tbwf_universal::ObjectType;
+
+/// A first-in first-out queue.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Queue;
+
+/// Operations of [`Queue`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueOp {
+    /// Enqueue a value at the tail.
+    Enq(i64),
+    /// Dequeue the head value (`None` when empty).
+    Deq,
+}
+
+/// Responses of [`Queue`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QueueResp {
+    /// Response to `Enq`.
+    Enqueued,
+    /// Response to `Deq`.
+    Dequeued(Option<i64>),
+}
+
+impl ObjectType for Queue {
+    type State = VecDeque<i64>;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> VecDeque<i64> {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &mut VecDeque<i64>, op: &QueueOp) -> QueueResp {
+        match op {
+            QueueOp::Enq(v) => {
+                state.push_back(*v);
+                QueueResp::Enqueued
+            }
+            QueueOp::Deq => QueueResp::Dequeued(state.pop_front()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let t = Queue;
+        let mut s = t.initial();
+        t.apply(&mut s, &QueueOp::Enq(1));
+        t.apply(&mut s, &QueueOp::Enq(2));
+        assert_eq!(t.apply(&mut s, &QueueOp::Deq), QueueResp::Dequeued(Some(1)));
+        assert_eq!(t.apply(&mut s, &QueueOp::Deq), QueueResp::Dequeued(Some(2)));
+        assert_eq!(t.apply(&mut s, &QueueOp::Deq), QueueResp::Dequeued(None));
+    }
+}

@@ -1,0 +1,86 @@
+//! A file of `k` read/write registers (a multi-register object).
+
+use tbwf_universal::ObjectType;
+
+/// A register file with a fixed number of cells.
+#[derive(Clone, Copy, Debug)]
+pub struct RegFile {
+    /// Number of registers.
+    pub size: usize,
+}
+
+impl RegFile {
+    /// A register file with `size` cells, all initially 0.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "register file needs at least one cell");
+        RegFile { size }
+    }
+}
+
+/// Operations of [`RegFile`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegFileOp {
+    /// Read cell `i`.
+    Read(usize),
+    /// Write `v` into cell `i`.
+    Write(usize, i64),
+}
+
+/// Responses of [`RegFile`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegFileResp {
+    /// Response to `Read`.
+    Value(i64),
+    /// Response to `Write`.
+    Written,
+}
+
+impl ObjectType for RegFile {
+    type State = Vec<i64>;
+    type Op = RegFileOp;
+    type Resp = RegFileResp;
+
+    fn initial(&self) -> Vec<i64> {
+        vec![0; self.size]
+    }
+
+    fn apply(&self, state: &mut Vec<i64>, op: &RegFileOp) -> RegFileResp {
+        match op {
+            RegFileOp::Read(i) => RegFileResp::Value(state[*i % state.len()]),
+            RegFileOp::Write(i, v) => {
+                let len = state.len();
+                state[*i % len] = *v;
+                RegFileResp::Written
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_cells() {
+        let t = RegFile::new(3);
+        let mut s = t.initial();
+        assert_eq!(t.apply(&mut s, &RegFileOp::Read(1)), RegFileResp::Value(0));
+        t.apply(&mut s, &RegFileOp::Write(1, 42));
+        assert_eq!(t.apply(&mut s, &RegFileOp::Read(1)), RegFileResp::Value(42));
+        assert_eq!(t.apply(&mut s, &RegFileOp::Read(0)), RegFileResp::Value(0));
+    }
+
+    #[test]
+    fn out_of_range_indices_wrap() {
+        let t = RegFile::new(2);
+        let mut s = t.initial();
+        t.apply(&mut s, &RegFileOp::Write(5, 9)); // 5 % 2 == 1
+        assert_eq!(t.apply(&mut s, &RegFileOp::Read(1)), RegFileResp::Value(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_size_rejected() {
+        let _ = RegFile::new(0);
+    }
+}

@@ -1,0 +1,61 @@
+//! A LIFO stack of `i64` values.
+
+use tbwf_universal::ObjectType;
+
+/// A last-in first-out stack.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stack;
+
+/// Operations of [`Stack`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackOp {
+    /// Push a value.
+    Push(i64),
+    /// Pop the top value (`None` when empty).
+    Pop,
+}
+
+/// Responses of [`Stack`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackResp {
+    /// Response to `Push`.
+    Pushed,
+    /// Response to `Pop`.
+    Popped(Option<i64>),
+}
+
+impl ObjectType for Stack {
+    type State = Vec<i64>;
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn initial(&self) -> Vec<i64> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &mut Vec<i64>, op: &StackOp) -> StackResp {
+        match op {
+            StackOp::Push(v) => {
+                state.push(*v);
+                StackResp::Pushed
+            }
+            StackOp::Pop => StackResp::Popped(state.pop()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let t = Stack;
+        let mut s = t.initial();
+        t.apply(&mut s, &StackOp::Push(1));
+        t.apply(&mut s, &StackOp::Push(2));
+        assert_eq!(t.apply(&mut s, &StackOp::Pop), StackResp::Popped(Some(2)));
+        assert_eq!(t.apply(&mut s, &StackOp::Pop), StackResp::Popped(Some(1)));
+        assert_eq!(t.apply(&mut s, &StackOp::Pop), StackResp::Popped(None));
+    }
+}

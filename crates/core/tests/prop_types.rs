@@ -1,0 +1,144 @@
+//! Property tests: the sequential object types against independent
+//! reference models.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use tbwf::types::*;
+use tbwf_universal::ObjectType;
+
+fn stack_ops() -> impl Strategy<Value = Vec<StackOp>> {
+    prop::collection::vec(
+        prop_oneof![(-50i64..50).prop_map(StackOp::Push), Just(StackOp::Pop)],
+        0..60,
+    )
+}
+
+fn queue_ops() -> impl Strategy<Value = Vec<QueueOp>> {
+    prop::collection::vec(
+        prop_oneof![(-50i64..50).prop_map(QueueOp::Enq), Just(QueueOp::Deq)],
+        0..60,
+    )
+}
+
+fn deque_ops() -> impl Strategy<Value = Vec<DequeOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-50i64..50).prop_map(DequeOp::PushLeft),
+            (-50i64..50).prop_map(DequeOp::PushRight),
+            Just(DequeOp::PopLeft),
+            Just(DequeOp::PopRight),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn stack_matches_vec_model(ops in stack_ops()) {
+        let ty = Stack;
+        let mut state = ty.initial();
+        let mut model: Vec<i64> = Vec::new();
+        for op in ops {
+            let resp = ty.apply(&mut state, &op);
+            match op {
+                StackOp::Push(v) => { model.push(v); prop_assert_eq!(resp, StackResp::Pushed); }
+                StackOp::Pop => prop_assert_eq!(resp, StackResp::Popped(model.pop())),
+            }
+            prop_assert_eq!(&state, &model);
+        }
+    }
+
+    #[test]
+    fn queue_matches_vecdeque_model(ops in queue_ops()) {
+        let ty = Queue;
+        let mut state = ty.initial();
+        let mut model: VecDeque<i64> = VecDeque::new();
+        for op in ops {
+            let resp = ty.apply(&mut state, &op);
+            match op {
+                QueueOp::Enq(v) => { model.push_back(v); prop_assert_eq!(resp, QueueResp::Enqueued); }
+                QueueOp::Deq => prop_assert_eq!(resp, QueueResp::Dequeued(model.pop_front())),
+            }
+        }
+        prop_assert_eq!(state, model);
+    }
+
+    #[test]
+    fn deque_matches_vecdeque_model(ops in deque_ops()) {
+        let ty = Deque;
+        let mut state = ty.initial();
+        let mut model: VecDeque<i64> = VecDeque::new();
+        for op in ops {
+            let resp = ty.apply(&mut state, &op);
+            let expect = match op {
+                DequeOp::PushLeft(v) => { model.push_front(v); DequeResp::Pushed }
+                DequeOp::PushRight(v) => { model.push_back(v); DequeResp::Pushed }
+                DequeOp::PopLeft => DequeResp::Popped(model.pop_front()),
+                DequeOp::PopRight => DequeResp::Popped(model.pop_back()),
+            };
+            prop_assert_eq!(resp, expect);
+        }
+        prop_assert_eq!(state, model);
+    }
+
+    #[test]
+    fn regfile_matches_array_model(size in 1usize..6, ops in prop::collection::vec((0usize..8, -50i64..50, prop::bool::ANY), 0..50)) {
+        let ty = RegFile::new(size);
+        let mut state = ty.initial();
+        let mut model = vec![0i64; size];
+        for (i, v, is_write) in ops {
+            if is_write {
+                let resp = ty.apply(&mut state, &RegFileOp::Write(i, v));
+                model[i % size] = v;
+                prop_assert_eq!(resp, RegFileResp::Written);
+            } else {
+                let resp = ty.apply(&mut state, &RegFileOp::Read(i));
+                prop_assert_eq!(resp, RegFileResp::Value(model[i % size]));
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_add_sums(deltas in prop::collection::vec(-50i64..50, 0..50)) {
+        let ty = FetchAdd;
+        let mut state = ty.initial();
+        let mut sum = 0i64;
+        for d in deltas {
+            let old = ty.apply(&mut state, &FetchAddOp(d));
+            prop_assert_eq!(old, sum);
+            sum += d;
+        }
+        prop_assert_eq!(state, sum);
+    }
+
+    #[test]
+    fn cas_object_matches_cell_model(ops in prop::collection::vec((0i64..4, 0i64..4), 0..50)) {
+        let ty = CasObject;
+        let mut state = ty.initial();
+        let mut model = 0i64;
+        for (e, n) in ops {
+            let resp = ty.apply(&mut state, &CasOp::Cas { expected: e, new: n });
+            if model == e {
+                model = n;
+                prop_assert_eq!(resp, CasResp::Swapped(true));
+            } else {
+                prop_assert_eq!(resp, CasResp::Swapped(false));
+            }
+            prop_assert_eq!(ty.apply(&mut state, &CasOp::Read), CasResp::Value(model));
+        }
+    }
+
+    /// apply must be deterministic: same state + op ⇒ same result.
+    #[test]
+    fn apply_is_deterministic(ops in stack_ops()) {
+        let ty = Stack;
+        let mut a = ty.initial();
+        let mut b = ty.initial();
+        for op in ops {
+            let ra = ty.apply(&mut a, &op);
+            let rb = ty.apply(&mut b, &op);
+            prop_assert_eq!(ra, rb);
+            prop_assert_eq!(&a, &b);
+        }
+    }
+}

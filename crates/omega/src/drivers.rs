@@ -1,0 +1,157 @@
+//! Candidate-input drivers: scripted tasks that flip `candidate_p` over
+//! time, realizing the N/P/R candidacy classes of Definition 4 and the
+//! canonical use of Definition 6.
+
+use crate::{OmegaHandles, OBS_CANDIDATE};
+use tbwf_sim::{Env, ProcId, SimBuilder};
+
+/// A scripted candidacy pattern for one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CandidateScript {
+    /// Never competes (`Ncandidates` if it starts false).
+    Never,
+    /// Competes from the start, forever (`Pcandidates`).
+    Always,
+    /// Starts competing at time `t` and never stops (`Pcandidates`).
+    From(u64),
+    /// Competes until time `t`, then stops forever (`Ncandidates`).
+    Until(u64),
+    /// Alternates: candidate for `on` steps, not candidate for `off`
+    /// steps, forever (`Rcandidates`).
+    Blink {
+        /// Steps spent as a candidate per cycle.
+        on: u64,
+        /// Steps spent not competing per cycle.
+        off: u64,
+    },
+    /// Like `Blink`, but *canonical* (Definition 6): after leaving the
+    /// competition, waits until `leader_p ≠ p` before re-entering.
+    CanonicalBlink {
+        /// Steps spent as a candidate per cycle.
+        on: u64,
+        /// Minimum steps spent out of the competition per cycle.
+        off: u64,
+    },
+}
+
+impl CandidateScript {
+    fn desired(self, t: u64) -> Option<bool> {
+        match self {
+            CandidateScript::Never => Some(false),
+            CandidateScript::Always => Some(true),
+            CandidateScript::From(t0) => Some(t >= t0),
+            CandidateScript::Until(t0) => Some(t < t0),
+            CandidateScript::Blink { on, off } => Some(t % (on + off) < on),
+            CandidateScript::CanonicalBlink { .. } => None, // stateful
+        }
+    }
+}
+
+/// Adds a driver task for process `pid` that follows `script`, observing
+/// every change of `candidate_p` into the trace.
+pub fn add_candidate_driver(
+    builder: &mut SimBuilder,
+    pid: ProcId,
+    handles: &OmegaHandles,
+    script: CandidateScript,
+) {
+    let candidate = handles.candidate.clone();
+    let leader = handles.leader.clone();
+    builder.add_task(pid, "candidacy", move |env| {
+        let set = |env: &dyn Env, v: bool| {
+            if candidate.get() != v {
+                candidate.set(v);
+                env.observe(OBS_CANDIDATE, 0, v as i64);
+            }
+        };
+        env.observe(OBS_CANDIDATE, 0, candidate.get() as i64);
+        match script {
+            CandidateScript::CanonicalBlink { on, off } => loop {
+                // Compete for `on` of our own steps.
+                set(&env, true);
+                for _ in 0..on {
+                    env.tick()?;
+                }
+                // Leave the competition…
+                set(&env, false);
+                for _ in 0..off {
+                    env.tick()?;
+                }
+                // …and (Definition 6) wait until we are not the leader
+                // before competing again.
+                while leader.get() == Some(pid) {
+                    env.tick()?;
+                }
+            },
+            script => loop {
+                if let Some(v) = script.desired(env.now()) {
+                    set(&env, v);
+                }
+                env.tick()?;
+            },
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbwf_sim::schedule::RoundRobin;
+    use tbwf_sim::{RunConfig, SimBuilder};
+
+    fn run_script(script: CandidateScript, steps: u64) -> Vec<(u64, i64)> {
+        let mut b = SimBuilder::new();
+        let p = b.add_process("p0");
+        let h = OmegaHandles::new();
+        add_candidate_driver(&mut b, p, &h, script);
+        let report = b.build().run(RunConfig::new(steps, RoundRobin::new()));
+        report.assert_no_panics();
+        report.trace.obs_series(ProcId(0), OBS_CANDIDATE, 0)
+    }
+
+    #[test]
+    fn always_script_sets_true_once() {
+        let s = run_script(CandidateScript::Always, 100);
+        assert_eq!(s.first().map(|(_, v)| *v), Some(0));
+        assert_eq!(s.last().map(|(_, v)| *v), Some(1));
+        assert!(s.len() <= 2);
+    }
+
+    #[test]
+    fn from_script_waits() {
+        let s = run_script(CandidateScript::From(50), 200);
+        let flip = s.iter().find(|(_, v)| *v == 1).map(|(t, _)| *t).unwrap();
+        assert!(flip >= 50);
+    }
+
+    #[test]
+    fn blink_script_oscillates() {
+        let s = run_script(CandidateScript::Blink { on: 20, off: 20 }, 400);
+        let ones = s.iter().filter(|(_, v)| *v == 1).count();
+        let zeros = s.iter().filter(|(_, v)| *v == 0).count();
+        assert!(ones >= 3, "expected several on-phases, got {ones}");
+        assert!(zeros >= 3, "expected several off-phases, got {zeros}");
+    }
+
+    #[test]
+    fn canonical_blink_respects_leader_gate() {
+        let mut b = SimBuilder::new();
+        let p = b.add_process("p0");
+        let h = OmegaHandles::new();
+        // The process believes it is the leader forever: after its first
+        // off-phase it must never become a candidate again.
+        h.leader.set(Some(ProcId(0)));
+        add_candidate_driver(
+            &mut b,
+            p,
+            &h,
+            CandidateScript::CanonicalBlink { on: 10, off: 5 },
+        );
+        let report = b.build().run(RunConfig::new(500, RoundRobin::new()));
+        report.assert_no_panics();
+        let s = report.trace.obs_series(ProcId(0), OBS_CANDIDATE, 0);
+        // initial 0, one rise, one fall — then gated forever.
+        let changes: Vec<i64> = s.iter().map(|(_, v)| *v).collect();
+        assert_eq!(changes, vec![0, 1, 0]);
+    }
+}

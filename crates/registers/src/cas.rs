@@ -1,0 +1,116 @@
+//! Compare-and-swap registers — the *strong* primitive used only by the
+//! Herlihy-style baseline (Section 1.2 of the paper: "any object has a
+//! wait-free implementation, provided one is allowed to use some strong
+//! synchronization primitives like compare-and-swap"). The paper's own
+//! constructions never use this.
+
+use crate::stats::{OpEvent, OpKind, OpLog};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tbwf_sim::{Env, SimResult};
+
+/// A linearizable compare-and-swap register. Never aborts.
+pub trait CasRegister<T: Clone + PartialEq>: Send + Sync {
+    /// Atomically: if the value equals `expected`, replace it with `new`
+    /// and return `true`; otherwise return `false`.
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn compare_and_swap(&self, env: &dyn Env, expected: &T, new: T) -> SimResult<bool>;
+
+    /// Reads the current value.
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn read(&self, env: &dyn Env) -> SimResult<T>;
+}
+
+/// Simulated CAS register: two-step operation, linearizes at the response.
+pub struct SimCasReg<T> {
+    name: String,
+    value: Mutex<T>,
+    log: Arc<OpLog>,
+}
+
+impl<T: Clone + PartialEq + Send> SimCasReg<T> {
+    pub(crate) fn new(name: String, init: T, log: Arc<OpLog>) -> Self {
+        SimCasReg {
+            name,
+            value: Mutex::new(init),
+            log,
+        }
+    }
+
+    fn record(&self, env: &dyn Env, invoked: u64, kind: OpKind) {
+        self.log.push(OpEvent {
+            invoked,
+            responded: env.now(),
+            proc: env.pid(),
+            reg: self.name.clone(),
+            kind,
+            overlapped: false,
+            aborted: false,
+            effect: true,
+        });
+    }
+}
+
+impl<T: Clone + PartialEq + Send + Sync> CasRegister<T> for SimCasReg<T> {
+    fn compare_and_swap(&self, env: &dyn Env, expected: &T, new: T) -> SimResult<bool> {
+        let invoked = env.now();
+        env.tick()?;
+        let mut v = self.value.lock();
+        let ok = *v == *expected;
+        if ok {
+            *v = new;
+        }
+        drop(v);
+        self.record(env, invoked, OpKind::Write);
+        Ok(ok)
+    }
+
+    fn read(&self, env: &dyn Env) -> SimResult<T> {
+        let invoked = env.now();
+        env.tick()?;
+        let v = self.value.lock().clone();
+        self.record(env, invoked, OpKind::Read);
+        Ok(v)
+    }
+}
+
+/// Shorthand for a shared CAS register handle.
+pub type SharedCas<T> = Arc<dyn CasRegister<T>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbwf_sim::{FreeRunEnv, ProcId};
+
+    #[test]
+    fn cas_succeeds_on_match() {
+        let log = Arc::new(OpLog::new());
+        let r = SimCasReg::new("C".into(), 0i64, log);
+        let env = FreeRunEnv::new(ProcId(0));
+        assert!(r.compare_and_swap(&env, &0, 5).unwrap());
+        assert_eq!(r.read(&env).unwrap(), 5);
+    }
+
+    #[test]
+    fn cas_fails_on_mismatch() {
+        let log = Arc::new(OpLog::new());
+        let r = SimCasReg::new("C".into(), 0i64, log);
+        let env = FreeRunEnv::new(ProcId(0));
+        assert!(!r.compare_and_swap(&env, &3, 5).unwrap());
+        assert_eq!(r.read(&env).unwrap(), 0);
+    }
+
+    #[test]
+    fn cas_on_option_values() {
+        let log = Arc::new(OpLog::new());
+        let r: SimCasReg<Option<u32>> = SimCasReg::new("C".into(), None, log);
+        let env = FreeRunEnv::new(ProcId(0));
+        assert!(r.compare_and_swap(&env, &None, Some(7)).unwrap());
+        assert!(!r.compare_and_swap(&env, &None, Some(9)).unwrap());
+        assert_eq!(r.read(&env).unwrap(), Some(7));
+    }
+}

@@ -1,0 +1,391 @@
+//! The simulated register core: two-phase operations with overlap
+//! detection, and the three register kinds built on it.
+
+use crate::outcome::{ReadOutcome, WriteOutcome};
+use crate::policy::{AbortPolicy, EffectPolicy};
+use crate::stats::{OpEvent, OpKind, OpLog};
+use crate::{AbortableRegister, AtomicRegister, SafeRegister};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tbwf_sim::{Env, ProcId, SimResult};
+
+/// An operation in flight between its invocation and response steps.
+struct Inflight {
+    id: u64,
+    kind: OpKind,
+    /// Set as soon as any other operation's interval overlaps this one.
+    overlapped: bool,
+    /// Whether the overlap involved a write (needed by safe registers).
+    overlapped_write: bool,
+}
+
+struct CoreState<T> {
+    value: T,
+    inflight: Vec<Inflight>,
+    next_id: u64,
+    rng: StdRng,
+}
+
+/// Shared core of one simulated register.
+pub(crate) struct RegCore<T> {
+    name: String,
+    state: Mutex<CoreState<T>>,
+    log: Arc<OpLog>,
+}
+
+/// What the core reports when an operation resolves.
+struct Resolution {
+    overlapped: bool,
+    overlapped_write: bool,
+    /// Uniform samples for the abort and effect decisions.
+    u_abort: f64,
+    u_effect: f64,
+}
+
+impl<T: Clone + Send> RegCore<T> {
+    fn new(name: String, init: T, seed: u64, log: Arc<OpLog>) -> Self {
+        RegCore {
+            name,
+            state: Mutex::new(CoreState {
+                value: init,
+                inflight: Vec::new(),
+                next_id: 0,
+                rng: StdRng::seed_from_u64(seed),
+            }),
+            log,
+        }
+    }
+
+    /// Invocation step: register the in-flight op and mark overlaps.
+    fn begin(&self, kind: OpKind) -> u64 {
+        let mut st = self.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        let any = !st.inflight.is_empty();
+        let any_write = st.inflight.iter().any(|o| o.kind == OpKind::Write);
+        for o in &mut st.inflight {
+            o.overlapped = true;
+            o.overlapped_write |= kind == OpKind::Write;
+        }
+        st.inflight.push(Inflight {
+            id,
+            kind,
+            overlapped: any,
+            overlapped_write: any_write,
+        });
+        id
+    }
+
+    /// Response step: remove the in-flight op and sample the adversary.
+    fn resolve(&self, id: u64) -> Resolution {
+        let mut st = self.state.lock();
+        let pos = st
+            .inflight
+            .iter()
+            .position(|o| o.id == id)
+            .expect("resolving unknown operation");
+        let op = st.inflight.remove(pos);
+        let u_abort = st.rng.random::<f64>();
+        let u_effect = st.rng.random::<f64>();
+        Resolution {
+            overlapped: op.overlapped,
+            overlapped_write: op.overlapped_write,
+            u_abort,
+            u_effect,
+        }
+    }
+
+    fn record(
+        &self,
+        env: &dyn Env,
+        invoked: u64,
+        kind: OpKind,
+        res: &Resolution,
+        aborted: bool,
+        effect: bool,
+    ) {
+        self.log.push(OpEvent {
+            invoked,
+            responded: env.now(),
+            proc: env.pid(),
+            reg: self.name.clone(),
+            kind,
+            overlapped: res.overlapped,
+            aborted,
+            effect,
+        });
+    }
+}
+
+/// Simulated atomic register (linearizes at the response step).
+pub(crate) struct SimAtomicReg<T> {
+    core: RegCore<T>,
+}
+
+impl<T: Clone + Send> SimAtomicReg<T> {
+    pub(crate) fn new(name: String, init: T, seed: u64, log: Arc<OpLog>) -> Self {
+        SimAtomicReg {
+            core: RegCore::new(name, init, seed, log),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> AtomicRegister<T> for SimAtomicReg<T> {
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<()> {
+        let invoked = env.now();
+        let id = self.core.begin(OpKind::Write);
+        env.tick()?;
+        let res = self.core.resolve(id);
+        self.core.state.lock().value = v;
+        self.core
+            .record(env, invoked, OpKind::Write, &res, false, true);
+        Ok(())
+    }
+
+    fn read(&self, env: &dyn Env) -> SimResult<T> {
+        let invoked = env.now();
+        let id = self.core.begin(OpKind::Read);
+        env.tick()?;
+        let res = self.core.resolve(id);
+        let v = self.core.state.lock().value.clone();
+        self.core
+            .record(env, invoked, OpKind::Read, &res, false, false);
+        Ok(v)
+    }
+}
+
+/// Simulated abortable register.
+pub(crate) struct SimAbortableReg<T> {
+    core: RegCore<T>,
+    abort_policy: AbortPolicy,
+    effect_policy: EffectPolicy,
+    /// If set, only this process may write (single-writer enforcement).
+    writer: Option<ProcId>,
+    /// If set, only this process may read (single-reader enforcement).
+    reader: Option<ProcId>,
+}
+
+impl<T: Clone + Send> SimAbortableReg<T> {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        name: String,
+        init: T,
+        seed: u64,
+        log: Arc<OpLog>,
+        abort_policy: AbortPolicy,
+        effect_policy: EffectPolicy,
+        writer: Option<ProcId>,
+        reader: Option<ProcId>,
+    ) -> Self {
+        SimAbortableReg {
+            core: RegCore::new(name, init, seed, log),
+            abort_policy,
+            effect_policy,
+            writer,
+            reader,
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<WriteOutcome> {
+        if let Some(w) = self.writer {
+            assert_eq!(
+                env.pid(),
+                w,
+                "register {} written by non-owner",
+                self.core.name
+            );
+        }
+        let invoked = env.now();
+        let id = self.core.begin(OpKind::Write);
+        env.tick()?;
+        let res = self.core.resolve(id);
+        if res.overlapped && self.abort_policy.aborts(res.u_abort) {
+            let effect = self.effect_policy.takes_effect(res.u_effect);
+            if effect {
+                self.core.state.lock().value = v;
+            }
+            self.core
+                .record(env, invoked, OpKind::Write, &res, true, effect);
+            Ok(WriteOutcome::Aborted)
+        } else {
+            self.core.state.lock().value = v;
+            self.core
+                .record(env, invoked, OpKind::Write, &res, false, true);
+            Ok(WriteOutcome::Ok)
+        }
+    }
+
+    fn read(&self, env: &dyn Env) -> SimResult<ReadOutcome<T>> {
+        if let Some(r) = self.reader {
+            assert_eq!(
+                env.pid(),
+                r,
+                "register {} read by non-owner",
+                self.core.name
+            );
+        }
+        let invoked = env.now();
+        let id = self.core.begin(OpKind::Read);
+        env.tick()?;
+        let res = self.core.resolve(id);
+        if res.overlapped && self.abort_policy.aborts(res.u_abort) {
+            self.core
+                .record(env, invoked, OpKind::Read, &res, true, false);
+            Ok(ReadOutcome::Aborted)
+        } else {
+            let v = self.core.state.lock().value.clone();
+            self.core
+                .record(env, invoked, OpKind::Read, &res, false, false);
+            Ok(ReadOutcome::Value(v))
+        }
+    }
+}
+
+/// Simulated safe register over `u64`.
+pub(crate) struct SimSafeReg {
+    core: RegCore<u64>,
+}
+
+impl SimSafeReg {
+    pub(crate) fn new(name: String, init: u64, seed: u64, log: Arc<OpLog>) -> Self {
+        SimSafeReg {
+            core: RegCore::new(name, init, seed, log),
+        }
+    }
+}
+
+impl SafeRegister for SimSafeReg {
+    fn write(&self, env: &dyn Env, v: u64) -> SimResult<()> {
+        let invoked = env.now();
+        let id = self.core.begin(OpKind::Write);
+        env.tick()?;
+        let res = self.core.resolve(id);
+        self.core.state.lock().value = v;
+        self.core
+            .record(env, invoked, OpKind::Write, &res, false, true);
+        Ok(())
+    }
+
+    fn read(&self, env: &dyn Env) -> SimResult<u64> {
+        let invoked = env.now();
+        let id = self.core.begin(OpKind::Read);
+        env.tick()?;
+        let res = self.core.resolve(id);
+        let v = if res.overlapped_write {
+            // Arbitrary value: safe semantics under read/write overlap.
+            (res.u_abort * u64::MAX as f64) as u64
+        } else {
+            self.core.state.lock().value
+        };
+        self.core
+            .record(env, invoked, OpKind::Read, &res, false, false);
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbwf_sim::FreeRunEnv;
+
+    fn log() -> Arc<OpLog> {
+        Arc::new(OpLog::new())
+    }
+
+    #[test]
+    fn atomic_read_write_solo() {
+        let env = FreeRunEnv::new(ProcId(0));
+        let r = SimAtomicReg::new("R".into(), 0i64, 1, log());
+        r.write(&env, 7).unwrap();
+        assert_eq!(r.read(&env).unwrap(), 7);
+    }
+
+    #[test]
+    fn abortable_solo_never_aborts() {
+        let env = FreeRunEnv::new(ProcId(0));
+        let r = SimAbortableReg::new(
+            "R".into(),
+            0i64,
+            1,
+            log(),
+            AbortPolicy::AlwaysOnOverlap,
+            EffectPolicy::Never,
+            None,
+            None,
+        );
+        for i in 0..100 {
+            assert_eq!(r.write(&env, i).unwrap(), WriteOutcome::Ok);
+            assert_eq!(r.read(&env).unwrap(), ReadOutcome::Value(i));
+        }
+    }
+
+    #[test]
+    fn overlap_detection_marks_both_ops() {
+        let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log());
+        let a = r.begin(OpKind::Read);
+        let b = r.begin(OpKind::Write);
+        let ra = r.resolve(a);
+        let rb = r.resolve(b);
+        assert!(ra.overlapped);
+        assert!(ra.overlapped_write);
+        assert!(rb.overlapped);
+        assert!(!rb.overlapped_write);
+    }
+
+    #[test]
+    fn sequential_ops_do_not_overlap() {
+        let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log());
+        let a = r.begin(OpKind::Read);
+        let ra = r.resolve(a);
+        let b = r.begin(OpKind::Write);
+        let rb = r.resolve(b);
+        assert!(!ra.overlapped);
+        assert!(!rb.overlapped);
+    }
+
+    #[test]
+    #[should_panic(expected = "written by non-owner")]
+    fn single_writer_enforced() {
+        let env = FreeRunEnv::new(ProcId(3));
+        let r = SimAbortableReg::new(
+            "R".into(),
+            0i64,
+            1,
+            log(),
+            AbortPolicy::default(),
+            EffectPolicy::default(),
+            Some(ProcId(0)),
+            None,
+        );
+        let _ = r.write(&env, 1);
+    }
+
+    #[test]
+    fn ops_are_logged() {
+        let env = FreeRunEnv::new(ProcId(2));
+        let l = log();
+        let r = SimAtomicReg::new("Reg".into(), 0i64, 1, Arc::clone(&l));
+        r.write(&env, 1).unwrap();
+        r.read(&env).unwrap();
+        let evs = l.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, OpKind::Write);
+        assert_eq!(evs[1].kind, OpKind::Read);
+        assert_eq!(evs[0].proc, ProcId(2));
+        assert_eq!(evs[0].reg, "Reg");
+        assert!(evs[0].responded > evs[0].invoked);
+    }
+
+    #[test]
+    fn safe_register_solo_reads_are_exact() {
+        let env = FreeRunEnv::new(ProcId(0));
+        let r = SimSafeReg::new("S".into(), 9, 1, log());
+        assert_eq!(r.read(&env).unwrap(), 9);
+        r.write(&env, 11).unwrap();
+        assert_eq!(r.read(&env).unwrap(), 11);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared registers for the TBWF reproduction: atomic, safe, and
+//! **abortable** registers, in two backends.
+//!
+//! # Model (simulated backend)
+//!
+//! In the paper's model (Section 3 and \[2\]) a register operation spans an
+//! *invocation* step and a *response* step; two operations are
+//! **concurrent** iff their invoke–response intervals overlap. The
+//! simulated registers here implement exactly that:
+//!
+//! * an operation registers its invocation, consumes one
+//!   [`Env::tick`](tbwf_sim::Env) (so the response happens on the
+//!   caller's *next* step, arbitrarily far in global time), then resolves;
+//! * an **atomic** register linearizes at the response and never aborts;
+//! * a **safe** register returns an arbitrary (seeded) value when a read
+//!   overlaps a write;
+//! * an **abortable** register *may abort* any operation that overlaps
+//!   another operation on the same register: an aborted read returns no
+//!   value, an aborted write returns `⊥` and *may or may not take effect*
+//!   (the writer cannot tell) — the semantics of \[2\] as summarized in
+//!   Section 1.2 of the paper. Operations that overlap nothing **never**
+//!   abort, which is what makes solo execution (and hence
+//!   obstruction-freedom) possible.
+//!
+//! Abort and effect decisions are driven by a seeded [`AbortPolicy`] /
+//! [`EffectPolicy`] so every adversary is reproducible; the default policy
+//! (`AlwaysOnOverlap`) is the strongest admissible adversary.
+//!
+//! # Native backend
+//!
+//! [`native`] provides real-thread implementations: the abortable register
+//! is a try-lock/seqlock hybrid whose operations abort exactly when they
+//! detect a racing operation. It is used by the Criterion benches to put
+//! real parallel contention through the same algorithm code.
+//!
+//! All registers are created through a [`RegisterFactory`], which tags each
+//! register with a name and records every operation into a shared
+//! [`OpLog`] — the write-efficiency experiment (E6) and the abort-rate
+//! ablation (E8) read the log.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cas;
+mod core_reg;
+mod factory;
+pub mod native;
+mod outcome;
+mod policy;
+pub mod stats;
+
+pub use cas::{CasRegister, SharedCas};
+pub use factory::{RegisterFactory, RegisterFactoryConfig};
+pub use outcome::{ReadOutcome, WriteOutcome};
+pub use policy::{AbortPolicy, EffectPolicy};
+pub use stats::{OpEvent, OpKind, OpLog};
+
+use std::sync::Arc;
+use tbwf_sim::{Env, SimResult};
+
+/// A multi-writer multi-reader atomic register.
+///
+/// Operations never abort; each costs two steps (invoke + response) on the
+/// simulated backend.
+pub trait AtomicRegister<T: Clone>: Send + Sync {
+    /// Writes `v`; linearizes at the response step.
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<()>;
+
+    /// Reads the current value.
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn read(&self, env: &dyn Env) -> SimResult<T>;
+}
+
+/// An abortable register (\[2\]; Section 1.2 of the paper).
+///
+/// Operations that are concurrent with other operations on the same
+/// register **may** return `⊥` ([`WriteOutcome::Aborted`] /
+/// [`ReadOutcome::Aborted`]); an aborted write may or may not have taken
+/// effect. An operation concurrent with nothing never aborts.
+pub trait AbortableRegister<T: Clone>: Send + Sync {
+    /// Attempts to write `v`.
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<WriteOutcome>;
+
+    /// Attempts to read.
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn read(&self, env: &dyn Env) -> SimResult<ReadOutcome<T>>;
+}
+
+/// A safe register holding `u64` values.
+///
+/// A read that overlaps a write returns an *arbitrary* value (here: a
+/// seeded pseudo-random one). Included to demonstrate that abortable
+/// registers are *weaker* than safe registers: a safe write always takes
+/// effect, an abortable one may not.
+pub trait SafeRegister: Send + Sync {
+    /// Writes `v` (always takes effect).
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn write(&self, env: &dyn Env, v: u64) -> SimResult<()>;
+
+    /// Reads; an overlapping write makes the result arbitrary.
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn read(&self, env: &dyn Env) -> SimResult<u64>;
+}
+
+/// Shorthand for a shared atomic register handle.
+pub type SharedAtomic<T> = Arc<dyn AtomicRegister<T>>;
+/// Shorthand for a shared abortable register handle.
+pub type SharedAbortable<T> = Arc<dyn AbortableRegister<T>>;

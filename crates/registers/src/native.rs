@@ -1,0 +1,238 @@
+//! Native (real-thread) backend.
+//!
+//! The simulated backend gives determinism and full adversary control; the
+//! native backend gives real parallelism for the Criterion benches. Both
+//! implement the same [`AtomicRegister`]/[`AbortableRegister`] traits, so
+//! algorithm code is backend-agnostic.
+//!
+//! The native abortable register aborts exactly when it *detects* a racing
+//! operation (a held try-lock or a torn version), which is an admissible
+//! adversary for the abortable-register specification: solo operations
+//! never abort.
+
+use crate::outcome::{ReadOutcome, WriteOutcome};
+use crate::{AbortableRegister, AtomicRegister};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tbwf_sim::{Env, Halted, ProcId, SimResult};
+
+/// Environment for algorithm code running on real threads.
+///
+/// `tick` checks a shared stop flag (so `repeat forever` loops can be torn
+/// down) and counts local steps; `now` returns a global step counter that
+/// is monotone but — unlike the simulator — not a total order of steps.
+#[derive(Clone)]
+pub struct NativeEnv {
+    pid: ProcId,
+    stop: Arc<AtomicBool>,
+    clock: Arc<AtomicU64>,
+}
+
+impl NativeEnv {
+    /// Creates an environment for process `pid` controlled by `stop`.
+    pub fn new(pid: ProcId, stop: Arc<AtomicBool>) -> Self {
+        NativeEnv {
+            pid,
+            stop,
+            clock: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Creates `n` environments sharing one stop flag and clock.
+    pub fn group(n: usize) -> (Vec<NativeEnv>, Arc<AtomicBool>) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let clock = Arc::new(AtomicU64::new(0));
+        let envs = (0..n)
+            .map(|p| NativeEnv {
+                pid: ProcId(p),
+                stop: Arc::clone(&stop),
+                clock: Arc::clone(&clock),
+            })
+            .collect();
+        (envs, stop)
+    }
+
+    /// The shared stop flag; set it to `true` to halt all loops.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+}
+
+impl Env for NativeEnv {
+    fn tick(&self) -> SimResult<()> {
+        if self.stop.load(Ordering::Relaxed) {
+            return Err(Halted);
+        }
+        self.clock.fetch_add(1, Ordering::Relaxed);
+        std::hint::spin_loop();
+        Ok(())
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    fn observe(&self, _key: &'static str, _idx: u32, _value: i64) {
+        // Native runs are for throughput, not trace checking.
+    }
+}
+
+/// Native atomic register: a mutex-protected value.
+pub struct NativeAtomicReg<T> {
+    value: Mutex<T>,
+}
+
+impl<T: Clone + Send> NativeAtomicReg<T> {
+    /// Creates the register with an initial value.
+    pub fn new(init: T) -> Self {
+        NativeAtomicReg {
+            value: Mutex::new(init),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> AtomicRegister<T> for NativeAtomicReg<T> {
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<()> {
+        env.tick()?;
+        *self.value.lock() = v;
+        Ok(())
+    }
+
+    fn read(&self, env: &dyn Env) -> SimResult<T> {
+        env.tick()?;
+        Ok(self.value.lock().clone())
+    }
+}
+
+/// Native abortable register: try-lock with a version word.
+///
+/// * `write` try-locks; failure ⇒ a concurrent operation holds the
+///   register ⇒ abort **without** effect. On success the version is
+///   bumped to odd, the value stored, then bumped to even.
+/// * `read` samples the version (odd ⇒ a write is mid-flight ⇒ abort),
+///   try-locks (failure ⇒ abort), and returns the value.
+///
+/// Solo operations always succeed, as the specification requires.
+pub struct NativeAbortableReg<T> {
+    version: AtomicU64,
+    value: Mutex<T>,
+}
+
+impl<T: Clone + Send> NativeAbortableReg<T> {
+    /// Creates the register with an initial value.
+    pub fn new(init: T) -> Self {
+        NativeAbortableReg {
+            version: AtomicU64::new(0),
+            value: Mutex::new(init),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync> AbortableRegister<T> for NativeAbortableReg<T> {
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<WriteOutcome> {
+        env.tick()?;
+        match self.value.try_lock() {
+            Some(mut guard) => {
+                self.version.fetch_add(1, Ordering::AcqRel); // odd: in flight
+                *guard = v;
+                self.version.fetch_add(1, Ordering::AcqRel); // even: done
+                Ok(WriteOutcome::Ok)
+            }
+            None => Ok(WriteOutcome::Aborted),
+        }
+    }
+
+    fn read(&self, env: &dyn Env) -> SimResult<ReadOutcome<T>> {
+        env.tick()?;
+        if self.version.load(Ordering::Acquire) % 2 == 1 {
+            return Ok(ReadOutcome::Aborted);
+        }
+        match self.value.try_lock() {
+            Some(guard) => Ok(ReadOutcome::Value(guard.clone())),
+            None => Ok(ReadOutcome::Aborted),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn native_env_halts_on_stop() {
+        let (envs, stop) = NativeEnv::group(2);
+        assert!(envs[0].tick().is_ok());
+        stop.store(true, Ordering::Relaxed);
+        assert_eq!(envs[0].tick(), Err(Halted));
+        assert_eq!(envs[1].tick(), Err(Halted));
+        assert_eq!(envs[0].pid(), ProcId(0));
+        assert_eq!(envs[1].pid(), ProcId(1));
+    }
+
+    #[test]
+    fn native_atomic_roundtrip() {
+        let (envs, _stop) = NativeEnv::group(1);
+        let r = NativeAtomicReg::new(0i64);
+        r.write(&envs[0], 42).unwrap();
+        assert_eq!(r.read(&envs[0]).unwrap(), 42);
+    }
+
+    #[test]
+    fn native_abortable_solo_succeeds() {
+        let (envs, _stop) = NativeEnv::group(1);
+        let r = NativeAbortableReg::new(0i64);
+        for i in 0..1000 {
+            assert_eq!(r.write(&envs[0], i).unwrap(), WriteOutcome::Ok);
+            assert_eq!(r.read(&envs[0]).unwrap(), ReadOutcome::Value(i));
+        }
+    }
+
+    #[test]
+    fn native_abortable_contention_aborts_but_is_safe() {
+        let (envs, stop) = NativeEnv::group(2);
+        let r = Arc::new(NativeAbortableReg::new(0u64));
+        let writer = {
+            let r = Arc::clone(&r);
+            let env = envs[0].clone();
+            thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut i = 1u64;
+                while env.tick().is_ok() {
+                    if r.write(&env, i).unwrap_or(WriteOutcome::Aborted).is_ok() {
+                        ok += 1;
+                    }
+                    i += 1;
+                }
+                ok
+            })
+        };
+        let reader = {
+            let r = Arc::clone(&r);
+            let env = envs[1].clone();
+            thread::spawn(move || {
+                let mut last = 0u64;
+                let mut seen = 0u64;
+                while env.tick().is_ok() {
+                    if let Ok(ReadOutcome::Value(v)) = r.read(&env) {
+                        assert!(v >= last, "values must be monotone: {v} < {last}");
+                        last = v;
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+        thread::sleep(std::time::Duration::from_millis(50));
+        stop.store(true, Ordering::Relaxed);
+        let ok = writer.join().unwrap();
+        let seen = reader.join().unwrap();
+        assert!(ok > 0, "some writes must succeed");
+        assert!(seen > 0, "some reads must succeed");
+    }
+}

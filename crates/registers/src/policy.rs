@@ -1,0 +1,112 @@
+//! Abort and effect policies: the register-level adversary.
+//!
+//! The specification of an abortable register says that operations that
+//! are concurrent with other operations **may** abort; it does not say
+//! when. The choice is therefore adversarial, and these policies let a run
+//! pick its adversary. All randomness is seeded per register, so runs are
+//! reproducible.
+
+/// When does an operation that overlapped another operation abort?
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub enum AbortPolicy {
+    /// Every overlapping operation aborts: the strongest admissible
+    /// adversary, and the default everywhere.
+    #[default]
+    AlwaysOnOverlap,
+    /// An overlapping operation aborts with probability `p_abort`.
+    Seeded {
+        /// Probability that an overlapping operation aborts.
+        p_abort: f64,
+    },
+    /// Overlapping operations never abort — the register behaves
+    /// atomically. Useful as a control in ablations.
+    Never,
+}
+
+impl AbortPolicy {
+    /// Decides whether an overlapped operation aborts, given a uniform
+    /// sample `u ∈ [0, 1)`.
+    pub fn aborts(self, u: f64) -> bool {
+        match self {
+            AbortPolicy::AlwaysOnOverlap => true,
+            AbortPolicy::Seeded { p_abort } => u < p_abort,
+            AbortPolicy::Never => false,
+        }
+    }
+}
+
+/// Does an *aborted write* take effect anyway?
+///
+/// The writer gets `⊥` either way and cannot tell (Section 1.2 of the
+/// paper, footnote 2).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EffectPolicy {
+    /// Aborted writes never take effect.
+    Never,
+    /// Aborted writes always take effect.
+    Always,
+    /// An aborted write takes effect with probability `p_effect`.
+    Seeded {
+        /// Probability that an aborted write takes effect.
+        p_effect: f64,
+    },
+}
+
+impl Default for EffectPolicy {
+    fn default() -> Self {
+        EffectPolicy::Seeded { p_effect: 0.5 }
+    }
+}
+
+impl EffectPolicy {
+    /// Decides whether an aborted write takes effect, given a uniform
+    /// sample `u ∈ [0, 1)`.
+    pub fn takes_effect(self, u: f64) -> bool {
+        match self {
+            EffectPolicy::Never => false,
+            EffectPolicy::Always => true,
+            EffectPolicy::Seeded { p_effect } => u < p_effect,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_policy_always_aborts() {
+        assert!(AbortPolicy::AlwaysOnOverlap.aborts(0.0));
+        assert!(AbortPolicy::AlwaysOnOverlap.aborts(0.999));
+    }
+
+    #[test]
+    fn never_policy_never_aborts() {
+        assert!(!AbortPolicy::Never.aborts(0.0));
+    }
+
+    #[test]
+    fn seeded_policy_thresholds() {
+        let p = AbortPolicy::Seeded { p_abort: 0.3 };
+        assert!(p.aborts(0.1));
+        assert!(!p.aborts(0.5));
+    }
+
+    #[test]
+    fn effect_policies() {
+        assert!(!EffectPolicy::Never.takes_effect(0.0));
+        assert!(EffectPolicy::Always.takes_effect(0.99));
+        let s = EffectPolicy::Seeded { p_effect: 0.5 };
+        assert!(s.takes_effect(0.2));
+        assert!(!s.takes_effect(0.8));
+    }
+
+    #[test]
+    fn defaults() {
+        assert_eq!(AbortPolicy::default(), AbortPolicy::AlwaysOnOverlap);
+        assert_eq!(
+            EffectPolicy::default(),
+            EffectPolicy::Seeded { p_effect: 0.5 }
+        );
+    }
+}

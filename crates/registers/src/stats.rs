@@ -1,0 +1,184 @@
+//! The shared operation log: every register operation of a run, with
+//! timestamps, for the write-efficiency (E6) and abort-rate (E8) analyses.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use tbwf_sim::ProcId;
+
+/// Kind of a register operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// A read operation.
+    Read,
+    /// A write operation.
+    Write,
+}
+
+/// One completed register operation.
+#[derive(Clone, Debug)]
+pub struct OpEvent {
+    /// Global time of the invocation step.
+    pub invoked: u64,
+    /// Global time of the response step.
+    pub responded: u64,
+    /// The process that performed the operation.
+    pub proc: ProcId,
+    /// Name the register was created with (e.g. `"CounterRegister[3]"`).
+    pub reg: String,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Whether the operation overlapped another operation on the register.
+    pub overlapped: bool,
+    /// Whether the operation aborted (always false on atomic registers).
+    pub aborted: bool,
+    /// For aborted writes: whether the write took effect anyway.
+    pub effect: bool,
+}
+
+/// Append-only log of register operations shared by all registers of one
+/// [`RegisterFactory`](crate::RegisterFactory).
+pub struct OpLog {
+    events: Mutex<Vec<OpEvent>>,
+    enabled: bool,
+}
+
+impl Default for OpLog {
+    fn default() -> Self {
+        OpLog {
+            events: Mutex::new(Vec::new()),
+            enabled: true,
+        }
+    }
+}
+
+impl OpLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a log that silently drops every event. Used by the native
+    /// harness, where full-speed threads would otherwise accumulate
+    /// millions of events.
+    pub fn disabled() -> Self {
+        OpLog {
+            events: Mutex::new(Vec::new()),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn push(&self, e: OpEvent) {
+        if self.enabled {
+            self.events.lock().push(e);
+        }
+    }
+
+    /// Snapshot of all events so far.
+    pub fn events(&self) -> Vec<OpEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Processes that performed at least one *write* invoked at or after
+    /// time `t0`, with their write counts.
+    ///
+    /// This is the measurement behind the paper's closing remark of
+    /// Section 5.2: after stabilization "the only processes that write to
+    /// shared registers are the leader and processes in Rcandidates".
+    pub fn writers_since(&self, t0: u64) -> BTreeMap<ProcId, u64> {
+        let mut map = BTreeMap::new();
+        for e in self.events.lock().iter() {
+            if e.kind == OpKind::Write && e.invoked >= t0 {
+                *map.entry(e.proc).or_insert(0) += 1;
+            }
+        }
+        map
+    }
+
+    /// `(total, overlapped, aborted)` counts over all operations.
+    pub fn abort_stats(&self) -> (u64, u64, u64) {
+        let evs = self.events.lock();
+        let total = evs.len() as u64;
+        let overlapped = evs.iter().filter(|e| e.overlapped).count() as u64;
+        let aborted = evs.iter().filter(|e| e.aborted).count() as u64;
+        (total, overlapped, aborted)
+    }
+
+    /// Abort fraction among operations invoked in `[t0, t1)`.
+    pub fn abort_rate_in(&self, t0: u64, t1: u64) -> f64 {
+        let evs = self.events.lock();
+        let in_window: Vec<_> = evs
+            .iter()
+            .filter(|e| e.invoked >= t0 && e.invoked < t1)
+            .collect();
+        if in_window.is_empty() {
+            return 0.0;
+        }
+        in_window.iter().filter(|e| e.aborted).count() as f64 / in_window.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(invoked: u64, proc: usize, kind: OpKind, aborted: bool) -> OpEvent {
+        OpEvent {
+            invoked,
+            responded: invoked + 1,
+            proc: ProcId(proc),
+            reg: "R".into(),
+            kind,
+            overlapped: aborted,
+            aborted,
+            effect: false,
+        }
+    }
+
+    #[test]
+    fn writers_since_filters_by_time_and_kind() {
+        let log = OpLog::new();
+        log.push(ev(5, 0, OpKind::Write, false));
+        log.push(ev(15, 1, OpKind::Write, false));
+        log.push(ev(20, 1, OpKind::Read, false));
+        log.push(ev(25, 1, OpKind::Write, false));
+        let w = log.writers_since(10);
+        assert_eq!(w.get(&ProcId(0)), None);
+        assert_eq!(w.get(&ProcId(1)), Some(&2));
+    }
+
+    #[test]
+    fn abort_stats_counts() {
+        let log = OpLog::new();
+        log.push(ev(0, 0, OpKind::Read, true));
+        log.push(ev(1, 0, OpKind::Read, false));
+        assert_eq!(log.abort_stats(), (2, 1, 1));
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn abort_rate_windows() {
+        let log = OpLog::new();
+        for t in 0..10 {
+            log.push(ev(t, 0, OpKind::Read, t < 5));
+        }
+        assert!((log.abort_rate_in(0, 5) - 1.0).abs() < 1e-9);
+        assert!((log.abort_rate_in(5, 10) - 0.0).abs() < 1e-9);
+        assert_eq!(log.abort_rate_in(100, 200), 0.0);
+    }
+}

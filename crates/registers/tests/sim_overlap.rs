@@ -1,0 +1,241 @@
+//! Deterministic overlap tests: drive two processes with a scripted
+//! schedule so that register operations overlap (or don't) exactly as
+//! planned, and check the abortable semantics at the boundary.
+
+use std::sync::Arc;
+use tbwf_registers::{
+    AbortPolicy, EffectPolicy, ReadOutcome, RegisterFactory, RegisterFactoryConfig, WriteOutcome,
+};
+use tbwf_sim::schedule::Scripted;
+use tbwf_sim::{Env, Local, ProcId, RunConfig, SimBuilder};
+
+fn factory(abort: AbortPolicy, effect: EffectPolicy) -> RegisterFactory {
+    RegisterFactory::new(RegisterFactoryConfig {
+        seed: 1,
+        abort_policy: abort,
+        effect_policy: effect,
+    })
+}
+
+/// Schedule [p0, p1, p0, p1]: p0's write spans steps 0–2, p1's read spans
+/// steps 1–3 ⇒ the intervals overlap ⇒ both abort under AlwaysOnOverlap.
+#[test]
+fn interleaved_ops_overlap_and_abort() {
+    let f = factory(AbortPolicy::AlwaysOnOverlap, EffectPolicy::Never);
+    let reg = f.abortable("R", 0i64);
+    let w_out = Local::new(None::<WriteOutcome>);
+    let r_out = Local::new(None::<ReadOutcome<i64>>);
+
+    let mut b = SimBuilder::new();
+    let p0 = b.add_process("p0");
+    {
+        let reg = Arc::clone(&reg);
+        let w_out = w_out.clone();
+        b.add_task(p0, "writer", move |env| {
+            let res = reg.write(&env, 7)?;
+            w_out.set(Some(res));
+            Ok(())
+        });
+    }
+    let p1 = b.add_process("p1");
+    {
+        let reg = Arc::clone(&reg);
+        let r_out = r_out.clone();
+        b.add_task(p1, "reader", move |env| {
+            // With the [p0, p1] script the read's invocation (p1's first
+            // step, t=1) falls inside the write's [t=0, t=2] interval.
+            let res = reg.read(&env)?;
+            r_out.set(Some(res));
+            Ok(())
+        });
+    }
+    let report = b.build().run(RunConfig::new(
+        20,
+        Scripted::new(vec![ProcId(0), ProcId(1)]),
+    ));
+    report.assert_no_panics();
+    assert_eq!(w_out.get(), Some(WriteOutcome::Aborted), "write must abort");
+    assert_eq!(r_out.get(), Some(ReadOutcome::Aborted), "read must abort");
+    let (_, overlapped, aborted) = f.log().abort_stats();
+    assert_eq!(overlapped, 2);
+    assert_eq!(aborted, 2);
+}
+
+/// Same shape but the ops are strictly sequential (p0 finishes before p1
+/// starts): nothing overlaps, nothing aborts, the read sees the write.
+#[test]
+fn sequential_ops_do_not_abort() {
+    let f = factory(AbortPolicy::AlwaysOnOverlap, EffectPolicy::Never);
+    let reg = f.abortable("R", 0i64);
+    let r_out = Local::new(None::<ReadOutcome<i64>>);
+
+    let mut b = SimBuilder::new();
+    let p0 = b.add_process("p0");
+    {
+        let reg = Arc::clone(&reg);
+        b.add_task(p0, "writer", move |env| {
+            let res = reg.write(&env, 7)?;
+            assert_eq!(res, WriteOutcome::Ok);
+            Ok(())
+        });
+    }
+    let p1 = b.add_process("p1");
+    {
+        let reg = Arc::clone(&reg);
+        let r_out = r_out.clone();
+        b.add_task(p1, "reader", move |env| {
+            // Burn steps until the writer has definitely finished.
+            for _ in 0..4 {
+                env.tick()?;
+            }
+            let res = reg.read(&env)?;
+            r_out.set(Some(res));
+            Ok(())
+        });
+    }
+    // p0 takes both its steps before p1's read begins.
+    let report = b.build().run(RunConfig::new(
+        30,
+        Scripted::new(vec![ProcId(0), ProcId(0), ProcId(1)]),
+    ));
+    report.assert_no_panics();
+    assert_eq!(r_out.get(), Some(ReadOutcome::Value(7)));
+    let (_, overlapped, aborted) = f.log().abort_stats();
+    assert_eq!(overlapped, 0);
+    assert_eq!(aborted, 0);
+}
+
+/// EffectPolicy::Always: an aborted write *does* take effect — the writer
+/// gets ⊥ but a later read sees the value (footnote 2 of the paper).
+#[test]
+fn aborted_write_may_take_effect() {
+    let f = factory(AbortPolicy::AlwaysOnOverlap, EffectPolicy::Always);
+    let reg = f.abortable("R", 0i64);
+    let w_out = Local::new(None::<WriteOutcome>);
+    let late_read = Local::new(None::<ReadOutcome<i64>>);
+
+    let mut b = SimBuilder::new();
+    let p0 = b.add_process("p0");
+    {
+        let reg = Arc::clone(&reg);
+        let w_out = w_out.clone();
+        b.add_task(p0, "writer", move |env| {
+            let res = reg.write(&env, 42)?;
+            w_out.set(Some(res));
+            Ok(())
+        });
+    }
+    let p1 = b.add_process("p1");
+    {
+        let reg = Arc::clone(&reg);
+        let late_read = late_read.clone();
+        b.add_task(p1, "reader", move |env| {
+            let _overlapping = reg.read(&env)?; // races the write
+            for _ in 0..4 {
+                env.tick()?;
+            }
+            let res = reg.read(&env)?; // solo: must succeed
+            late_read.set(Some(res));
+            Ok(())
+        });
+    }
+    let report = b.build().run(RunConfig::new(
+        30,
+        Scripted::new(vec![ProcId(0), ProcId(1)]),
+    ));
+    report.assert_no_panics();
+    assert_eq!(
+        w_out.get(),
+        Some(WriteOutcome::Aborted),
+        "writer must see ⊥"
+    );
+    assert_eq!(
+        late_read.get(),
+        Some(ReadOutcome::Value(42)),
+        "the aborted write must have taken effect"
+    );
+}
+
+/// EffectPolicy::Never: the aborted write leaves the register unchanged.
+#[test]
+fn aborted_write_may_not_take_effect() {
+    let f = factory(AbortPolicy::AlwaysOnOverlap, EffectPolicy::Never);
+    let reg = f.abortable("R", 0i64);
+    let late_read = Local::new(None::<ReadOutcome<i64>>);
+
+    let mut b = SimBuilder::new();
+    let p0 = b.add_process("p0");
+    {
+        let reg = Arc::clone(&reg);
+        b.add_task(p0, "writer", move |env| {
+            let res = reg.write(&env, 42)?;
+            assert_eq!(res, WriteOutcome::Aborted);
+            Ok(())
+        });
+    }
+    let p1 = b.add_process("p1");
+    {
+        let reg = Arc::clone(&reg);
+        let late_read = late_read.clone();
+        b.add_task(p1, "reader", move |env| {
+            let _ = reg.read(&env)?; // races the write
+            for _ in 0..4 {
+                env.tick()?;
+            }
+            late_read.set(Some(reg.read(&env)?));
+            Ok(())
+        });
+    }
+    let report = b.build().run(RunConfig::new(
+        30,
+        Scripted::new(vec![ProcId(0), ProcId(1)]),
+    ));
+    report.assert_no_panics();
+    assert_eq!(
+        late_read.get(),
+        Some(ReadOutcome::Value(0)),
+        "no effect expected"
+    );
+}
+
+/// Safe register: a read overlapping a write returns garbage, but
+/// reads overlapping only reads stay exact.
+#[test]
+fn safe_register_overlap_semantics() {
+    let f = factory(AbortPolicy::AlwaysOnOverlap, EffectPolicy::Never);
+    let reg = f.safe("S", 5);
+    let overlapping = Local::new(None::<u64>);
+    let quiet = Local::new(None::<u64>);
+
+    let mut b = SimBuilder::new();
+    let p0 = b.add_process("p0");
+    {
+        let reg = Arc::clone(&reg);
+        b.add_task(p0, "writer", move |env| {
+            reg.write(&env, 9)?;
+            Ok(())
+        });
+    }
+    let p1 = b.add_process("p1");
+    {
+        let reg = Arc::clone(&reg);
+        let overlapping = overlapping.clone();
+        let quiet = quiet.clone();
+        b.add_task(p1, "reader", move |env| {
+            overlapping.set(Some(reg.read(&env)?)); // races the write
+            for _ in 0..4 {
+                env.tick()?;
+            }
+            quiet.set(Some(reg.read(&env)?)); // solo
+            Ok(())
+        });
+    }
+    let report = b.build().run(RunConfig::new(
+        30,
+        Scripted::new(vec![ProcId(0), ProcId(1)]),
+    ));
+    report.assert_no_panics();
+    assert!(overlapping.get().is_some());
+    // The solo read must be exact (the write completed with value 9).
+    assert_eq!(quiet.get(), Some(9));
+}

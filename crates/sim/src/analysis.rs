@@ -1,0 +1,193 @@
+//! Temporal predicates over observation series.
+//!
+//! The paper's specifications are stated with "there is a time after
+//! which C holds", "C holds infinitely often", and "v increases without
+//! bound" (Section 3). On the finite traces the simulator produces these
+//! become stabilization tests: the helpers here report *from when* and
+//! *for what fraction of the run* a predicate held, and the callers (the
+//! property checkers in `tbwf-monitor`/`tbwf-omega`) assert generous
+//! stabilization margins.
+//!
+//! A series is the step function induced by observations: the value at
+//! time `t` is the value of the latest observation at or before `t`.
+
+/// The earliest time from which `pred` holds for every later observation
+/// (i.e. the start of the final `pred`-true streak), or `None` if the
+/// series is empty or the last observation fails `pred`.
+pub fn holds_from(series: &[(u64, i64)], pred: impl Fn(i64) -> bool) -> Option<u64> {
+    let last = series.last()?;
+    if !pred(last.1) {
+        return None;
+    }
+    let mut start = last.0;
+    for (t, v) in series.iter().rev() {
+        if pred(*v) {
+            start = *t;
+        } else {
+            break;
+        }
+    }
+    Some(start)
+}
+
+/// Fraction of the run `[0, total_time)` covered by the final streak in
+/// which `pred` holds. Returns 0.0 if the streak is empty.
+///
+/// ```
+/// use tbwf_sim::analysis::stable_fraction;
+///
+/// // leader became p2 at t=400 and stayed: stable for 60% of the run.
+/// let leader = vec![(0, -1), (100, 0), (400, 2)];
+/// let f = stable_fraction(&leader, 1_000, |v| v == 2);
+/// assert!((f - 0.6).abs() < 1e-9);
+/// ```
+///
+/// "There is a time after which C holds" is asserted in tests as
+/// `stable_fraction(...) ≥ margin` for a generous margin (usually 0.2–0.5),
+/// chosen per experiment so that the stabilization phase of the algorithm
+/// fits comfortably in the complement.
+pub fn stable_fraction(series: &[(u64, i64)], total_time: u64, pred: impl Fn(i64) -> bool) -> f64 {
+    if total_time == 0 {
+        return 0.0;
+    }
+    match holds_from(series, pred) {
+        Some(t0) => (total_time.saturating_sub(t0)) as f64 / total_time as f64,
+        None => 0.0,
+    }
+}
+
+/// Whether `pred` holds at least `k` separate times spread over the whole
+/// run: the observations are split into `k` equal time windows and each
+/// window must contain a `pred`-true observation. This is the finite-trace
+/// version of "C holds infinitely often".
+pub fn holds_infinitely_often(
+    series: &[(u64, i64)],
+    total_time: u64,
+    k: usize,
+    pred: impl Fn(i64) -> bool,
+) -> bool {
+    if total_time == 0 || k == 0 {
+        return false;
+    }
+    let w = total_time.div_ceil(k as u64);
+    (0..k as u64).all(|i| {
+        let lo = i * w;
+        let hi = ((i + 1) * w).min(total_time);
+        series.iter().any(|(t, v)| *t >= lo && *t < hi && pred(*v))
+    })
+}
+
+/// Whether the series value is *bounded* in the finite-trace sense: it
+/// never changes during the last `frac` fraction of the run.
+pub fn bounded_suffix(series: &[(u64, i64)], total_time: u64, frac: f64) -> bool {
+    let cutoff = (total_time as f64 * (1.0 - frac)) as u64;
+    let suffix: Vec<i64> = series
+        .iter()
+        .filter(|(t, _)| *t >= cutoff)
+        .map(|(_, v)| *v)
+        .collect();
+    match (suffix.first(), series.last()) {
+        (Some(first), _) => suffix.iter().all(|v| v == first),
+        // no observation in the suffix at all: the value did not change
+        (None, Some(_)) => true,
+        (None, None) => true,
+    }
+}
+
+/// Whether the series "increases without bound" in the finite-trace sense:
+/// its maximum strictly increases across each of `k` consecutive equal
+/// time windows covering the run.
+pub fn increases_without_bound(series: &[(u64, i64)], total_time: u64, k: usize) -> bool {
+    if total_time == 0 || k < 2 {
+        return false;
+    }
+    let w = total_time.div_ceil(k as u64);
+    let mut prev_max: Option<i64> = None;
+    let mut running_max = i64::MIN;
+    for i in 0..k as u64 {
+        let lo = i * w;
+        let hi = ((i + 1) * w).min(total_time);
+        for (t, v) in series {
+            if *t >= lo && *t < hi {
+                running_max = running_max.max(*v);
+            }
+        }
+        if running_max == i64::MIN {
+            return false; // no observation yet in this window prefix
+        }
+        if let Some(pm) = prev_max {
+            if running_max <= pm {
+                return false;
+            }
+        }
+        prev_max = Some(running_max);
+    }
+    true
+}
+
+/// The value of the step function at time `t` (latest observation ≤ `t`).
+pub fn value_at(series: &[(u64, i64)], t: u64) -> Option<i64> {
+    series
+        .iter()
+        .take_while(|(ot, _)| *ot <= t)
+        .last()
+        .map(|(_, v)| *v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_from_finds_final_streak() {
+        let s = vec![(0, 1), (10, 2), (20, 2), (30, 2)];
+        assert_eq!(holds_from(&s, |v| v == 2), Some(10));
+        assert_eq!(holds_from(&s, |v| v == 1), None);
+        assert_eq!(holds_from(&[], |_| true), None);
+    }
+
+    #[test]
+    fn stable_fraction_measures_suffix() {
+        let s = vec![(0, 1), (50, 2)];
+        let f = stable_fraction(&s, 100, |v| v == 2);
+        assert!((f - 0.5).abs() < 1e-9);
+        assert_eq!(stable_fraction(&s, 100, |v| v == 3), 0.0);
+    }
+
+    #[test]
+    fn infinitely_often_requires_every_window() {
+        let s = vec![(5, 1), (35, 1), (65, 1), (95, 1)];
+        assert!(holds_infinitely_often(&s, 100, 4, |v| v == 1));
+        let sparse = vec![(5, 1), (95, 1)];
+        assert!(!holds_infinitely_often(&sparse, 100, 4, |v| v == 1));
+    }
+
+    #[test]
+    fn bounded_suffix_detects_quiescence() {
+        let s = vec![(0, 1), (10, 2), (20, 3)];
+        assert!(bounded_suffix(&s, 100, 0.5)); // nothing changes after t=50
+        let busy = vec![(0, 1), (90, 2)];
+        assert!(!busy.is_empty());
+        assert!(bounded_suffix(&busy, 100, 0.05));
+        assert!(!bounded_suffix(&[(0, 1), (60, 2), (99, 3)], 100, 0.5));
+    }
+
+    #[test]
+    fn increases_without_bound_needs_growth_per_window() {
+        let growing: Vec<(u64, i64)> = (0..10).map(|i| (i * 10, i as i64)).collect();
+        assert!(increases_without_bound(&growing, 100, 4));
+        let flat = vec![(0, 5), (50, 5), (99, 5)];
+        assert!(!increases_without_bound(&flat, 100, 4));
+        let stalls = vec![(0, 1), (30, 2), (60, 2), (99, 2)];
+        assert!(!increases_without_bound(&stalls, 100, 4));
+    }
+
+    #[test]
+    fn value_at_is_step_function() {
+        let s = vec![(10, 1), (20, 2)];
+        assert_eq!(value_at(&s, 5), None);
+        assert_eq!(value_at(&s, 10), Some(1));
+        assert_eq!(value_at(&s, 15), Some(1));
+        assert_eq!(value_at(&s, 25), Some(2));
+    }
+}

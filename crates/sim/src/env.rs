@@ -1,0 +1,145 @@
+//! The environment through which algorithm code consumes steps.
+
+use crate::gate::Gate;
+use crate::halt::SimResult;
+use crate::ids::{ProcId, TaskId};
+use crate::trace::TraceSink;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The interface between algorithm code and its runtime.
+///
+/// All the algorithms of the paper (Figures 2–7) are written against this
+/// trait, so the same code runs on the deterministic simulator
+/// ([`TaskEnv`]) and on a real-thread backend (the `native` module of
+/// `tbwf-registers`).
+///
+/// A *step* in the sense of Section 3 of the paper is consumed by every
+/// call to [`Env::tick`]; register operations consume one step for the
+/// invocation and one for the response by calling `tick` internally.
+pub trait Env: Send + Sync {
+    /// Consume one step of this process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`](crate::Halted) when the run is over (or the
+    /// process has crashed and the run is being torn down); the task must
+    /// propagate it and return.
+    fn tick(&self) -> SimResult<()>;
+
+    /// Current global time (number of steps taken by all processes so far).
+    fn now(&self) -> u64;
+
+    /// The process this task belongs to.
+    fn pid(&self) -> ProcId;
+
+    /// Record an observation of a local output variable into the trace.
+    ///
+    /// `key` names the variable (e.g. `"leader"`), `idx` disambiguates
+    /// vector variables (e.g. `status[q]` uses `idx = q`), and `value` is
+    /// the observed value (conventions such as `? == -1` are documented at
+    /// the observation sites).
+    fn observe(&self, key: &'static str, idx: u32, value: i64);
+}
+
+/// Simulator-backed environment handed to each task closure.
+#[derive(Clone)]
+pub struct TaskEnv {
+    pub(crate) tid: TaskId,
+    pub(crate) gate: Arc<Gate>,
+    pub(crate) clock: Arc<AtomicU64>,
+    pub(crate) sink: Arc<TraceSink>,
+}
+
+impl Env for TaskEnv {
+    fn tick(&self) -> SimResult<()> {
+        self.gate.tick()
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    fn pid(&self) -> ProcId {
+        self.tid.proc
+    }
+
+    fn observe(&self, key: &'static str, idx: u32, value: i64) {
+        self.sink.record(self.now(), self.tid.proc, key, idx, value);
+    }
+}
+
+impl TaskEnv {
+    /// The full task identifier (process + task index).
+    pub fn task_id(&self) -> TaskId {
+        self.tid
+    }
+}
+
+/// A free-running environment for unit tests and micro-benchmarks.
+///
+/// `tick` always succeeds and advances a private clock; observations are
+/// recorded into an internal sink that can be drained with
+/// [`FreeRunEnv::take_obs`]. There is no scheduler, no determinism
+/// guarantee across threads, and no halt signal — use the real simulator
+/// for anything that needs the model semantics.
+pub struct FreeRunEnv {
+    pid: ProcId,
+    clock: AtomicU64,
+    sink: TraceSink,
+}
+
+impl FreeRunEnv {
+    /// Creates a free-running environment acting as process `pid`.
+    pub fn new(pid: ProcId) -> Self {
+        FreeRunEnv {
+            pid,
+            clock: AtomicU64::new(0),
+            sink: TraceSink::new(),
+        }
+    }
+
+    /// Drains and returns all recorded observations.
+    pub fn take_obs(&self) -> Vec<crate::trace::Obs> {
+        self.sink.drain()
+    }
+}
+
+impl Env for FreeRunEnv {
+    fn tick(&self) -> SimResult<()> {
+        self.clock.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    fn observe(&self, key: &'static str, idx: u32, value: i64) {
+        self.sink.record(self.now(), self.pid, key, idx, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_run_env_ticks_and_observes() {
+        let env = FreeRunEnv::new(ProcId(3));
+        assert_eq!(env.now(), 0);
+        env.tick().unwrap();
+        env.tick().unwrap();
+        assert_eq!(env.now(), 2);
+        env.observe("x", 1, 42);
+        let obs = env.take_obs();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].value, 42);
+        assert_eq!(obs[0].proc, ProcId(3));
+        assert_eq!(obs[0].idx, 1);
+    }
+}

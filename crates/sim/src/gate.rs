@@ -1,0 +1,158 @@
+//! The rendezvous turnstile that serializes task steps.
+//!
+//! Every task thread blocks on its own [`Gate`]. The scheduler *grants* one
+//! step at a time: it flips the gate to `Go`, then waits until the task has
+//! flipped it back to `Done` (one step executed) or `Exited` (task body
+//! returned). Because the scheduler never has more than one grant
+//! outstanding, at most one task thread is runnable at any instant and the
+//! whole run is deterministic.
+
+use crate::halt::{Halted, SimResult};
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum GateState {
+    /// Task is blocked (or about to block) waiting for its next step.
+    Done,
+    /// Scheduler has granted a step; the task may run until its next tick.
+    Go,
+    /// The run is over; the task must unwind with [`Halted`].
+    Halt,
+    /// The task body returned; the thread is gone or about to be.
+    Exited,
+}
+
+/// Outcome of granting one step to a task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Grant {
+    /// The task executed one step and is blocked again.
+    StepDone,
+    /// The task body returned during this step (or had already returned).
+    TaskExited,
+}
+
+pub(crate) struct Gate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new() -> Self {
+        Gate {
+            state: Mutex::new(GateState::Done),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Scheduler side: grant one step and wait for it to complete.
+    pub(crate) fn grant(&self) -> Grant {
+        let mut st = self.state.lock();
+        if *st == GateState::Exited {
+            return Grant::TaskExited;
+        }
+        debug_assert_eq!(*st, GateState::Done, "grant while task not parked");
+        *st = GateState::Go;
+        self.cv.notify_all();
+        while *st != GateState::Done && *st != GateState::Exited {
+            self.cv.wait(&mut st);
+        }
+        if *st == GateState::Exited {
+            Grant::TaskExited
+        } else {
+            Grant::StepDone
+        }
+    }
+
+    /// Task side: block until the first/next step is granted.
+    ///
+    /// Does *not* mark the previous step done; used once at task startup.
+    pub(crate) fn wait_for_go(&self) -> SimResult<()> {
+        let mut st = self.state.lock();
+        while *st != GateState::Go && *st != GateState::Halt {
+            self.cv.wait(&mut st);
+        }
+        if *st == GateState::Halt {
+            Err(Halted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Task side: mark the current step done and block for the next grant.
+    pub(crate) fn tick(&self) -> SimResult<()> {
+        let mut st = self.state.lock();
+        if *st == GateState::Halt {
+            return Err(Halted);
+        }
+        debug_assert_eq!(*st, GateState::Go, "tick outside a granted step");
+        *st = GateState::Done;
+        self.cv.notify_all();
+        while *st != GateState::Go && *st != GateState::Halt {
+            self.cv.wait(&mut st);
+        }
+        if *st == GateState::Halt {
+            Err(Halted)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Task side: the body returned; release the scheduler if it is waiting.
+    pub(crate) fn exit(&self) {
+        let mut st = self.state.lock();
+        *st = GateState::Exited;
+        self.cv.notify_all();
+    }
+
+    /// Scheduler side: end the run; release the task with [`Halted`].
+    pub(crate) fn halt(&self) {
+        let mut st = self.state.lock();
+        if *st != GateState::Exited {
+            *st = GateState::Halt;
+        }
+        self.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn grant_then_tick_round_trip() {
+        let gate = Arc::new(Gate::new());
+        let g2 = gate.clone();
+        let h = thread::spawn(move || {
+            g2.wait_for_go().unwrap();
+            // step 1 work
+            g2.tick().unwrap();
+            // step 2 work
+            g2.exit();
+        });
+        assert_eq!(gate.grant(), Grant::StepDone);
+        assert_eq!(gate.grant(), Grant::TaskExited);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn halt_releases_blocked_task() {
+        let gate = Arc::new(Gate::new());
+        let g2 = gate.clone();
+        let h = thread::spawn(move || {
+            let r = g2.wait_for_go();
+            g2.exit();
+            r
+        });
+        gate.halt();
+        assert_eq!(h.join().unwrap(), Err(Halted));
+    }
+
+    #[test]
+    fn grant_after_exit_reports_exited() {
+        let gate = Arc::new(Gate::new());
+        gate.exit();
+        assert_eq!(gate.grant(), Grant::TaskExited);
+    }
+}

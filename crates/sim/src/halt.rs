@@ -1,0 +1,52 @@
+//! The halt signal used to tear down infinite task loops.
+
+use std::error::Error;
+use std::fmt;
+
+/// Signal that the simulation has ended and the task must unwind.
+///
+/// The algorithms of the paper are written as `repeat forever` loops; a run
+/// of the simulator executes a finite number of steps and then delivers
+/// `Halted` from the next [`Env::tick`](crate::Env::tick) (or register
+/// operation) of every task. Task bodies propagate it with `?` and return,
+/// letting their threads be joined.
+///
+/// `Halted` is also used to tear down the tasks of a *crashed* process: in
+/// the model a crashed process simply stops taking steps, which the
+/// scheduler implements by never granting it another step; at the end of
+/// the run its blocked tasks are released with `Halted`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Halted;
+
+impl fmt::Display for Halted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation halted")
+    }
+}
+
+impl Error for Halted {}
+
+/// Result of any step-consuming simulator operation.
+pub type SimResult<T> = Result<T, Halted>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halted_displays() {
+        assert_eq!(Halted.to_string(), "simulation halted");
+    }
+
+    #[test]
+    fn question_mark_propagates() {
+        fn inner() -> SimResult<u32> {
+            Err(Halted)
+        }
+        fn outer() -> SimResult<u32> {
+            let v = inner()?;
+            Ok(v + 1)
+        }
+        assert_eq!(outer(), Err(Halted));
+    }
+}

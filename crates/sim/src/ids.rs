@@ -1,0 +1,90 @@
+//! Identifiers for processes and tasks.
+
+use std::fmt;
+
+/// Identifier of a process in `Π = {0, …, n−1}`.
+///
+/// Matches the paper's process naming: processes are totally ordered by
+/// their id, and several algorithms break ties by picking the process with
+/// the *smallest* id (e.g. line 14 of Figure 3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ProcId(pub usize);
+
+impl ProcId {
+    /// Returns the underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(v: usize) -> Self {
+        ProcId(v)
+    }
+}
+
+/// Identifier of a task within the simulation.
+///
+/// A task is one cooperating loop of a process (the paper composes modules
+/// such as the Ω∆ main loop and the activity-monitor loops into a single
+/// automaton; each module is one task here). The process's steps rotate
+/// round-robin over its live tasks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId {
+    /// The owning process.
+    pub proc: ProcId,
+    /// Index of the task within the process (creation order).
+    pub index: usize,
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.proc, self.index)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.proc, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proc_id_ordering_matches_index() {
+        assert!(ProcId(0) < ProcId(1));
+        assert!(ProcId(3) > ProcId(2));
+        assert_eq!(ProcId(5).index(), 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcId(2).to_string(), "p2");
+        let t = TaskId {
+            proc: ProcId(1),
+            index: 4,
+        };
+        assert_eq!(t.to_string(), "p1#4");
+    }
+
+    #[test]
+    fn from_usize() {
+        let p: ProcId = 7usize.into();
+        assert_eq!(p, ProcId(7));
+    }
+}

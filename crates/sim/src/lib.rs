@@ -1,0 +1,68 @@
+//! Deterministic partial-synchrony shared-memory simulator.
+//!
+//! This crate is the substrate for the reproduction of *"Timeliness-Based
+//! Wait-Freedom: A Gracefully Degrading Progress Condition"* (Aguilera &
+//! Toueg, PODC 2008). It implements the computational model of Section 3 of
+//! the paper:
+//!
+//! * a system of `n ≥ 2` **processes** `Π = {0, …, n−1}`;
+//! * each process is composed of one or more **tasks** (the paper composes
+//!   several modules — e.g. the main Ω∆ loop plus one activity-monitor loop
+//!   per peer — into a single automaton; we model the composition by
+//!   rotating the process's steps round-robin across its tasks);
+//! * a global, discrete notion of **time**: at most one step per time unit,
+//!   steps are instantaneous;
+//! * a **schedule** (the adversary) that decides which process takes the
+//!   next step, subject to crashes;
+//! * a **trace** of every step and every observed local output variable,
+//!   from which *timeliness* (Definitions 1 and 2 of the paper) is
+//!   *measured*, never assumed.
+//!
+//! Tasks are written as ordinary blocking Rust closures. Each task runs on
+//! its own OS thread, but a rendezvous turnstile admits exactly
+//! one step at a time, so a run is a deterministic function of
+//! `(program, schedule, seed)`.
+//!
+//! # Example
+//!
+//! ```
+//! use tbwf_sim::{SimBuilder, RunConfig, schedule::RoundRobin, Env};
+//!
+//! let mut b = SimBuilder::new();
+//! for p in 0..3 {
+//!     let pid = b.add_process(&format!("p{p}"));
+//!     b.add_task(pid, "main", move |env| {
+//!         for i in 0..10 {
+//!             env.observe("i", 0, i);
+//!             env.tick()?;
+//!         }
+//!         Ok(())
+//!     });
+//! }
+//! let report = b.build().run(RunConfig::new(1_000, RoundRobin::new()));
+//! assert_eq!(report.trace.obs_series(tbwf_sim::ProcId(0), "i", 0).len(), 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+mod env;
+mod gate;
+mod halt;
+mod ids;
+mod local;
+mod runner;
+pub mod schedule;
+mod spawner;
+pub mod timeliness;
+pub mod trace;
+
+pub use env::{Env, FreeRunEnv, TaskEnv};
+pub use halt::{Halted, SimResult};
+pub use ids::{ProcId, TaskId};
+pub use local::{Local, LocalVec};
+pub use runner::{ProcReport, RunConfig, RunReport, Sim, SimBuilder, TaskOutcome};
+pub use schedule::{Schedule, ScheduleView};
+pub use spawner::{TaskBody, TaskSpawner};
+pub use trace::{Obs, Trace};

@@ -1,0 +1,505 @@
+//! The simulation runner: builds processes/tasks and executes a run.
+
+use crate::env::TaskEnv;
+use crate::gate::{Gate, Grant};
+use crate::halt::SimResult;
+use crate::ids::{ProcId, TaskId};
+use crate::schedule::{Schedule, ScheduleView};
+use crate::trace::{Trace, TraceSink};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type TaskBody = Box<dyn FnOnce(TaskEnv) -> SimResult<()> + Send + 'static>;
+
+struct TaskSpec {
+    name: String,
+    body: TaskBody,
+}
+
+struct ProcSpec {
+    name: String,
+    tasks: Vec<TaskSpec>,
+}
+
+/// Builder for a simulated system.
+///
+/// Add processes, then add one or more tasks to each; `build` spawns the
+/// task threads parked on their gates.
+#[derive(Default)]
+pub struct SimBuilder {
+    procs: Vec<ProcSpec>,
+}
+
+impl SimBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a process and returns its id (ids are assigned in order).
+    pub fn add_process(&mut self, name: &str) -> ProcId {
+        self.procs.push(ProcSpec {
+            name: name.to_string(),
+            tasks: Vec::new(),
+        });
+        ProcId(self.procs.len() - 1)
+    }
+
+    /// Adds a task to process `pid`.
+    ///
+    /// The task body receives a [`TaskEnv`] and should propagate
+    /// [`Halted`](crate::Halted) with `?`. A body that returns `Ok(())`
+    /// simply finishes (useful for finite workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not returned by [`SimBuilder::add_process`].
+    pub fn add_task<F>(&mut self, pid: ProcId, name: &str, body: F)
+    where
+        F: FnOnce(TaskEnv) -> SimResult<()> + Send + 'static,
+    {
+        self.procs[pid.0].tasks.push(TaskSpec {
+            name: name.to_string(),
+            body: Box::new(body),
+        });
+    }
+
+    /// Number of processes added so far.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Spawns all task threads (parked) and returns the runnable system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any process has no tasks.
+    pub fn build(self) -> Sim {
+        let clock = Arc::new(AtomicU64::new(0));
+        let sink = Arc::new(TraceSink::new());
+        let mut procs = Vec::with_capacity(self.procs.len());
+        for (pi, spec) in self.procs.into_iter().enumerate() {
+            assert!(!spec.tasks.is_empty(), "process {} has no tasks", spec.name);
+            let mut tasks = Vec::with_capacity(spec.tasks.len());
+            for (ti, t) in spec.tasks.into_iter().enumerate() {
+                let gate = Arc::new(Gate::new());
+                let tid = TaskId {
+                    proc: ProcId(pi),
+                    index: ti,
+                };
+                let env = TaskEnv {
+                    tid,
+                    gate: Arc::clone(&gate),
+                    clock: Arc::clone(&clock),
+                    sink: Arc::clone(&sink),
+                };
+                let g2 = Arc::clone(&gate);
+                let body = t.body;
+                let thread_name = format!("{}-{}", spec.name, t.name);
+                let handle = std::thread::Builder::new()
+                    .name(thread_name)
+                    .stack_size(256 * 1024)
+                    .spawn(move || {
+                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            if g2.wait_for_go().is_err() {
+                                return Ok(());
+                            }
+                            body(env)
+                        }));
+                        g2.exit();
+                        match result {
+                            Ok(_) => None,
+                            Err(panic) => Some(panic_message(&*panic)),
+                        }
+                    })
+                    .expect("failed to spawn task thread");
+                tasks.push(TaskRt {
+                    name: t.name,
+                    gate,
+                    handle: Some(handle),
+                    exited: false,
+                    panic: None,
+                });
+            }
+            procs.push(ProcRt {
+                name: spec.name,
+                tasks,
+                cursor: 0,
+                crashed: false,
+            });
+        }
+        Sim { procs, clock, sink }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+struct TaskRt {
+    name: String,
+    gate: Arc<Gate>,
+    handle: Option<JoinHandle<Option<String>>>,
+    exited: bool,
+    panic: Option<String>,
+}
+
+struct ProcRt {
+    name: String,
+    tasks: Vec<TaskRt>,
+    cursor: usize,
+    crashed: bool,
+}
+
+impl ProcRt {
+    fn runnable(&self) -> bool {
+        !self.crashed && self.tasks.iter().any(|t| !t.exited)
+    }
+}
+
+/// Configuration of a single run.
+pub struct RunConfig {
+    /// Maximum number of global steps to execute.
+    pub max_steps: u64,
+    /// Crash plan: `(time, process)` pairs; at each listed time the process
+    /// stops being scheduled forever.
+    pub crashes: Vec<(u64, ProcId)>,
+    /// The schedule (adversary).
+    pub schedule: Box<dyn Schedule>,
+}
+
+impl RunConfig {
+    /// Creates a run configuration with no crashes.
+    pub fn new(max_steps: u64, schedule: impl Schedule + 'static) -> Self {
+        RunConfig {
+            max_steps,
+            crashes: Vec::new(),
+            schedule: Box::new(schedule),
+        }
+    }
+
+    /// Adds a crash of `p` at time `t`.
+    #[must_use]
+    pub fn crash(mut self, t: u64, p: ProcId) -> Self {
+        self.crashes.push((t, p));
+        self
+    }
+}
+
+/// How a task ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TaskOutcome {
+    /// Still blocked in an infinite loop when the run was halted (normal
+    /// for the paper's `repeat forever` algorithms).
+    Halted,
+    /// The task body returned `Ok(())` before the run ended.
+    Finished,
+    /// The task panicked; the message is attached.
+    Panicked(String),
+}
+
+/// Per-process summary of a run.
+#[derive(Clone, Debug)]
+pub struct ProcReport {
+    /// Process name given at build time.
+    pub name: String,
+    /// Whether the crash plan crashed this process.
+    pub crashed: bool,
+    /// Outcome of each task, in creation order.
+    pub tasks: Vec<(String, TaskOutcome)>,
+}
+
+/// The result of a run: the trace plus per-process outcomes.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The recorded trace.
+    pub trace: Trace,
+    /// Per-process reports, indexed by process id.
+    pub procs: Vec<ProcReport>,
+}
+
+impl RunReport {
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Panics if any task panicked, reporting all panic messages.
+    pub fn assert_no_panics(&self) {
+        let mut msgs = Vec::new();
+        for (p, pr) in self.procs.iter().enumerate() {
+            for (tname, out) in &pr.tasks {
+                if let TaskOutcome::Panicked(m) = out {
+                    msgs.push(format!("p{p}/{tname}: {m}"));
+                }
+            }
+        }
+        assert!(msgs.is_empty(), "task panics: {msgs:?}");
+    }
+}
+
+/// A built system, ready to run once.
+pub struct Sim {
+    procs: Vec<ProcRt>,
+    clock: Arc<AtomicU64>,
+    sink: Arc<TraceSink>,
+}
+
+impl Sim {
+    /// Executes the run to completion and returns the report.
+    ///
+    /// The run ends when `max_steps` steps have been taken or no process is
+    /// runnable. All task threads are then halted and joined.
+    pub fn run(mut self, mut config: RunConfig) -> RunReport {
+        let n = self.procs.len();
+        let mut steps: Vec<ProcId> = Vec::with_capacity(config.max_steps as usize);
+        let mut crashes_applied: Vec<(u64, ProcId)> = Vec::new();
+        config.crashes.sort_by_key(|(t, _)| *t);
+        let mut crash_iter = config.crashes.iter().peekable();
+
+        for t in 0..config.max_steps {
+            while let Some(&&(ct, cp)) = crash_iter.peek() {
+                if ct <= t {
+                    if !self.procs[cp.0].crashed {
+                        self.procs[cp.0].crashed = true;
+                        crashes_applied.push((t, cp));
+                    }
+                    crash_iter.next();
+                } else {
+                    break;
+                }
+            }
+            let runnable: Vec<bool> = self.procs.iter().map(|p| p.runnable()).collect();
+            let view = ScheduleView {
+                n,
+                runnable: &runnable,
+                time: t,
+            };
+            if !view.any_runnable() {
+                break;
+            }
+            let mut p = config.schedule.next(&view);
+            if p.0 >= n || !runnable[p.0] {
+                p = view
+                    .next_runnable_from(p.0 % n)
+                    .expect("some process runnable");
+            }
+            // Rotate to the process's next live task and grant one step.
+            let proc = &mut self.procs[p.0];
+            let ntasks = proc.tasks.len();
+            let mut granted = false;
+            for k in 0..ntasks {
+                let ti = (proc.cursor + k) % ntasks;
+                if proc.tasks[ti].exited {
+                    continue;
+                }
+                self.clock.store(t, Ordering::SeqCst);
+                match proc.tasks[ti].gate.grant() {
+                    Grant::StepDone => {
+                        proc.cursor = ti + 1;
+                        granted = true;
+                        break;
+                    }
+                    Grant::TaskExited => {
+                        proc.tasks[ti].exited = true;
+                    }
+                }
+            }
+            if granted {
+                steps.push(p);
+            }
+            // If no task of p could take a step (all just exited), the time
+            // slot is simply skipped; the next iteration re-evaluates
+            // runnability.
+        }
+
+        // Tear down: halt all gates, join all threads.
+        for proc in &self.procs {
+            for task in &proc.tasks {
+                task.gate.halt();
+            }
+        }
+        let mut reports = Vec::with_capacity(n);
+        for proc in &mut self.procs {
+            let mut touts = Vec::new();
+            for task in &mut proc.tasks {
+                let was_exited_before_halt = task.exited;
+                let panic = task.handle.take().and_then(|h| h.join().unwrap_or(None));
+                task.panic = panic.clone();
+                let outcome = if let Some(m) = panic {
+                    TaskOutcome::Panicked(m)
+                } else if was_exited_before_halt {
+                    TaskOutcome::Finished
+                } else {
+                    TaskOutcome::Halted
+                };
+                touts.push((task.name.clone(), outcome));
+            }
+            reports.push(ProcReport {
+                name: proc.name.clone(),
+                crashed: proc.crashed,
+                tasks: touts,
+            });
+        }
+
+        let trace = Trace {
+            steps,
+            obs: self.sink.drain(),
+            crashes: crashes_applied,
+        };
+        RunReport {
+            trace,
+            procs: reports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{RoundRobin, Scripted};
+    use crate::Env;
+
+    #[test]
+    fn round_robin_run_is_deterministic() {
+        let build = || {
+            let mut b = SimBuilder::new();
+            for p in 0..3 {
+                let pid = b.add_process(&format!("p{p}"));
+                b.add_task(pid, "main", move |env| loop {
+                    env.observe("t", 0, env.now() as i64);
+                    env.tick()?;
+                });
+            }
+            b.build()
+        };
+        let r1 = build().run(RunConfig::new(300, RoundRobin::new()));
+        let r2 = build().run(RunConfig::new(300, RoundRobin::new()));
+        r1.assert_no_panics();
+        assert_eq!(r1.trace.steps, r2.trace.steps);
+        assert_eq!(r1.trace.obs.len(), r2.trace.obs.len());
+        assert_eq!(r1.trace.step_counts(3), vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn crash_stops_scheduling() {
+        let mut b = SimBuilder::new();
+        for p in 0..2 {
+            let pid = b.add_process(&format!("p{p}"));
+            b.add_task(pid, "main", move |env| loop {
+                env.tick()?;
+            });
+        }
+        let report = b
+            .build()
+            .run(RunConfig::new(100, RoundRobin::new()).crash(10, ProcId(1)));
+        report.assert_no_panics();
+        let counts = report.trace.step_counts(2);
+        assert!(counts[1] <= 6, "crashed process kept stepping: {counts:?}");
+        assert!(counts[0] >= 90);
+        assert!(report.procs[1].crashed);
+        assert_eq!(report.trace.crash_time(ProcId(1)), Some(10));
+    }
+
+    #[test]
+    fn finished_tasks_are_skipped() {
+        let mut b = SimBuilder::new();
+        let p0 = b.add_process("p0");
+        b.add_task(p0, "short", |env| {
+            env.tick()?;
+            Ok(())
+        });
+        b.add_task(p0, "long", |env| loop {
+            env.tick()?;
+        });
+        let report = b.build().run(RunConfig::new(50, RoundRobin::new()));
+        report.assert_no_panics();
+        assert_eq!(report.procs[0].tasks[0].1, TaskOutcome::Finished);
+        assert_eq!(report.procs[0].tasks[1].1, TaskOutcome::Halted);
+        // All 50 steps were taken by p0 (its long task keeps running).
+        assert_eq!(report.trace.step_counts(1), vec![50]);
+    }
+
+    #[test]
+    fn tasks_of_one_process_rotate() {
+        let mut b = SimBuilder::new();
+        let p0 = b.add_process("p0");
+        for t in 0..2 {
+            b.add_task(p0, &format!("t{t}"), move |env| loop {
+                env.observe("task", 0, t as i64);
+                env.tick()?;
+            });
+        }
+        let report = b.build().run(RunConfig::new(10, RoundRobin::new()));
+        report.assert_no_panics();
+        let series = report.trace.obs_series(ProcId(0), "task", 0);
+        let vals: Vec<i64> = series.iter().map(|(_, v)| *v).collect();
+        // strict alternation 0,1,0,1,...
+        for w in vals.windows(2) {
+            assert_ne!(w[0], w[1], "tasks must alternate: {vals:?}");
+        }
+    }
+
+    #[test]
+    fn panic_is_reported_not_propagated() {
+        let mut b = SimBuilder::new();
+        let p0 = b.add_process("p0");
+        b.add_task(p0, "bad", |env| {
+            env.tick()?;
+            panic!("boom");
+        });
+        let p1 = b.add_process("p1");
+        b.add_task(p1, "good", |env| loop {
+            env.tick()?;
+        });
+        let report = b.build().run(RunConfig::new(30, RoundRobin::new()));
+        match &report.procs[0].tasks[0].1 {
+            TaskOutcome::Panicked(m) => assert!(m.contains("boom")),
+            o => panic!("expected panic outcome, got {o:?}"),
+        }
+        assert_eq!(report.procs[1].tasks[0].1, TaskOutcome::Halted);
+    }
+
+    #[test]
+    fn scripted_schedule_is_followed() {
+        let mut b = SimBuilder::new();
+        for p in 0..2 {
+            let pid = b.add_process(&format!("p{p}"));
+            b.add_task(pid, "main", move |env| loop {
+                env.tick()?;
+            });
+        }
+        let script = vec![ProcId(1), ProcId(1), ProcId(0)];
+        let report = b.build().run(RunConfig::new(9, Scripted::new(script)));
+        let got: Vec<usize> = report.trace.steps.iter().map(|p| p.0).collect();
+        assert_eq!(got, vec![1, 1, 0, 1, 1, 0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn run_ends_when_everyone_finishes() {
+        let mut b = SimBuilder::new();
+        for p in 0..2 {
+            let pid = b.add_process(&format!("p{p}"));
+            b.add_task(pid, "main", move |env| {
+                for _ in 0..5 {
+                    env.tick()?;
+                }
+                Ok(())
+            });
+        }
+        let report = b.build().run(RunConfig::new(10_000, RoundRobin::new()));
+        report.assert_no_panics();
+        assert!(report.trace.len() <= 12);
+        for pr in &report.procs {
+            assert_eq!(pr.tasks[0].1, TaskOutcome::Finished);
+        }
+    }
+}

@@ -1,0 +1,499 @@
+//! Schedules: the adversary that decides which process steps next.
+//!
+//! A schedule controls the *degree of partial synchrony* of a run. The
+//! paper's timeliness notion (Definitions 1–2) is relative: `p` is timely
+//! iff there is a bound `i` such that every `i` consecutive steps of the
+//! system contain a step of `p`. The schedules below realize the regimes
+//! studied in the paper:
+//!
+//! * [`RoundRobin`] — all correct processes timely with bound `n`;
+//! * [`PartiallySynchronous`] — a designated *timely set* steps regularly
+//!   while the rest step ever more rarely (growing gaps ⇒ not timely);
+//! * [`Flicker`] — a process alternates bursts of activity and growing
+//!   silences, the "flickering" behavior of Section 4;
+//! * [`SoloAfter`] — obstruction-freedom's regime: one process eventually
+//!   runs solo;
+//! * [`SeededRandom`] / [`Weighted`] — randomized interleavings for
+//!   property-based testing;
+//! * [`Scripted`] — an explicit step sequence for adversarial
+//!   counterexamples (e.g. the boosting-starvation run of E5).
+
+use crate::ids::ProcId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What a schedule may inspect when choosing the next process.
+#[derive(Debug)]
+pub struct ScheduleView<'a> {
+    /// Number of processes in the system.
+    pub n: usize,
+    /// `runnable[p]` is false if `p` crashed or all of its tasks returned.
+    pub runnable: &'a [bool],
+    /// Current global time.
+    pub time: u64,
+}
+
+impl ScheduleView<'_> {
+    /// First runnable process at or after `start` (wrapping), if any.
+    pub fn next_runnable_from(&self, start: usize) -> Option<ProcId> {
+        (0..self.n)
+            .map(|k| (start + k) % self.n)
+            .find(|&p| self.runnable[p])
+            .map(ProcId)
+    }
+
+    /// Whether any process can still take a step.
+    pub fn any_runnable(&self) -> bool {
+        self.runnable.iter().any(|&r| r)
+    }
+}
+
+/// Decides which process takes the step at each time.
+///
+/// If the returned process is not runnable, the runner falls back to the
+/// next runnable process in id order (so schedules may ignore crashes).
+pub trait Schedule: Send {
+    /// The process to step at time `view.time`.
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId;
+
+    /// The set of processes this schedule *intends* to keep timely, if it
+    /// has a designed ground truth. Used by experiments for labelling;
+    /// tests always re-measure timeliness from the trace.
+    fn intended_timely(&self, n: usize) -> Vec<ProcId> {
+        (0..n).map(ProcId).collect()
+    }
+}
+
+/// Every process steps in turn: the fully synchronous regime.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin schedule starting at process 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Schedule for RoundRobin {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        let p = view
+            .next_runnable_from(self.cursor % view.n.max(1))
+            .unwrap_or(ProcId(0));
+        self.cursor = p.0 + 1;
+        p
+    }
+}
+
+/// A designated timely set steps round-robin; the remaining processes get
+/// one step every `gap` rounds of the timely set — and if `growing_gaps`
+/// is set, the gap doubles each time, so the slow processes are *not*
+/// timely (no fixed bound exists).
+#[derive(Clone, Debug)]
+pub struct PartiallySynchronous {
+    timely: Vec<ProcId>,
+    timely_cursor: usize,
+    slow_cursor: usize,
+    growth: GapGrowth,
+    current_gap: u64,
+    since_slow: u64,
+}
+
+/// How the slow processes' step gaps evolve in [`PartiallySynchronous`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GapGrowth {
+    /// Fixed gap: the slow processes are *still timely*, just with a large
+    /// bound. Useful as a control.
+    Constant,
+    /// The gap grows by the given increment after every slow step: the
+    /// slow processes are not timely, but their steps stay dense enough
+    /// (quadratic times) for finite-window growth checks.
+    Linear(u64),
+    /// The gap doubles after every slow step: the slow processes are not
+    /// timely and become extremely rare (exponential times).
+    Doubling,
+}
+
+impl PartiallySynchronous {
+    /// Creates a schedule in which exactly `timely` keeps a constant step
+    /// cadence. `gap` is the initial number of timely steps between two
+    /// consecutive slow-process steps; `growing_gaps` selects
+    /// [`GapGrowth::Doubling`] (true) or [`GapGrowth::Constant`] (false).
+    pub fn new(timely: Vec<ProcId>, gap: u64, growing_gaps: bool) -> Self {
+        Self::with_growth(
+            timely,
+            gap,
+            if growing_gaps {
+                GapGrowth::Doubling
+            } else {
+                GapGrowth::Constant
+            },
+        )
+    }
+
+    /// Creates the schedule with an explicit gap-growth law.
+    pub fn with_growth(timely: Vec<ProcId>, gap: u64, growth: GapGrowth) -> Self {
+        assert!(!timely.is_empty(), "timely set must be non-empty");
+        assert!(gap >= 1, "gap must be at least 1");
+        PartiallySynchronous {
+            timely,
+            timely_cursor: 0,
+            slow_cursor: 0,
+            growth,
+            current_gap: gap,
+            since_slow: 0,
+        }
+    }
+}
+
+impl Schedule for PartiallySynchronous {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        let slow: Vec<ProcId> = (0..view.n)
+            .map(ProcId)
+            .filter(|p| !self.timely.contains(p))
+            .collect();
+        if !slow.is_empty() && self.since_slow >= self.current_gap {
+            self.since_slow = 0;
+            self.current_gap = match self.growth {
+                GapGrowth::Constant => self.current_gap,
+                GapGrowth::Linear(inc) => (self.current_gap + inc).min(1 << 40),
+                GapGrowth::Doubling => (self.current_gap * 2).min(1 << 40),
+            };
+            let p = slow[self.slow_cursor % slow.len()];
+            self.slow_cursor += 1;
+            return p;
+        }
+        self.since_slow += 1;
+        let p = self.timely[self.timely_cursor % self.timely.len()];
+        self.timely_cursor += 1;
+        p
+    }
+
+    fn intended_timely(&self, _n: usize) -> Vec<ProcId> {
+        self.timely.clone()
+    }
+}
+
+/// One process "flickers": it runs in bursts separated by growing
+/// silences, so it is correct but not timely. Everyone else round-robins.
+#[derive(Clone, Debug)]
+pub struct Flicker {
+    flickerer: ProcId,
+    burst_len: u64,
+    growth: GapGrowth,
+    in_burst: bool,
+    remaining: u64,
+    quiet_len: u64,
+    others_cursor: usize,
+    /// Step counter used to interleave the flickerer's burst steps 1:1
+    /// with the others' steps during a burst.
+    parity: bool,
+}
+
+impl Flicker {
+    /// Creates a flicker schedule: `flickerer` steps for `burst_len` of its
+    /// own steps, then is silent while the others take `initial_quiet`
+    /// steps, with the quiet period doubling after each burst.
+    pub fn new(flickerer: ProcId, burst_len: u64, initial_quiet: u64) -> Self {
+        Self::with_quiet_growth(flickerer, burst_len, initial_quiet, GapGrowth::Doubling)
+    }
+
+    /// Like [`Flicker::new`] with an explicit quiet-period growth law
+    /// (any growing law keeps the flickerer non-timely; linear growth
+    /// keeps its bursts dense enough for finite-trace convergence checks).
+    pub fn with_quiet_growth(
+        flickerer: ProcId,
+        burst_len: u64,
+        initial_quiet: u64,
+        growth: GapGrowth,
+    ) -> Self {
+        Flicker {
+            flickerer,
+            burst_len,
+            growth,
+            in_burst: true,
+            remaining: burst_len,
+            quiet_len: initial_quiet,
+            others_cursor: 0,
+            parity: false,
+        }
+    }
+}
+
+impl Schedule for Flicker {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        let others: Vec<ProcId> = (0..view.n)
+            .map(ProcId)
+            .filter(|&p| p != self.flickerer)
+            .collect();
+        if self.in_burst {
+            self.parity = !self.parity;
+            if self.parity {
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    self.in_burst = false;
+                    self.remaining = self.quiet_len;
+                    self.quiet_len = match self.growth {
+                        GapGrowth::Constant => self.quiet_len,
+                        GapGrowth::Linear(inc) => (self.quiet_len + inc).min(1 << 40),
+                        GapGrowth::Doubling => (self.quiet_len * 2).min(1 << 40),
+                    };
+                }
+                return self.flickerer;
+            }
+        } else {
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                self.in_burst = true;
+                self.remaining = self.burst_len;
+            }
+        }
+        let p = others[self.others_cursor % others.len()];
+        self.others_cursor += 1;
+        p
+    }
+
+    fn intended_timely(&self, n: usize) -> Vec<ProcId> {
+        (0..n)
+            .map(ProcId)
+            .filter(|&p| p != self.flickerer)
+            .collect()
+    }
+}
+
+/// Round-robin until `t0`, then only `solo` steps: the obstruction-freedom
+/// regime ("there is a time after which some process runs solo").
+#[derive(Clone, Debug)]
+pub struct SoloAfter {
+    t0: u64,
+    solo: ProcId,
+    rr: RoundRobin,
+}
+
+impl SoloAfter {
+    /// Creates the schedule; `solo` runs alone from time `t0` on.
+    pub fn new(t0: u64, solo: ProcId) -> Self {
+        SoloAfter {
+            t0,
+            solo,
+            rr: RoundRobin::new(),
+        }
+    }
+}
+
+impl Schedule for SoloAfter {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        if view.time >= self.t0 {
+            self.solo
+        } else {
+            self.rr.next(view)
+        }
+    }
+
+    fn intended_timely(&self, _n: usize) -> Vec<ProcId> {
+        vec![self.solo]
+    }
+}
+
+/// Uniformly random runnable process, seeded for reproducibility.
+#[derive(Debug)]
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// Creates the schedule from a seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Schedule for SeededRandom {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        let start = self.rng.random_range(0..view.n);
+        view.next_runnable_from(start).unwrap_or(ProcId(0))
+    }
+}
+
+/// Random process with per-process weights; heavy processes are (very
+/// likely) timely, near-zero-weight processes are starved for long
+/// stretches.
+#[derive(Debug)]
+pub struct Weighted {
+    weights: Vec<f64>,
+    rng: StdRng,
+}
+
+impl Weighted {
+    /// Creates the schedule. `weights[p]` is proportional to the step rate
+    /// of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or contains a negative or non-finite
+    /// weight, or if all weights are zero.
+    pub fn new(weights: Vec<f64>, seed: u64) -> Self {
+        assert!(!weights.is_empty());
+        assert!(weights.iter().all(|w| w.is_finite() && *w >= 0.0));
+        assert!(weights.iter().sum::<f64>() > 0.0);
+        Weighted {
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Schedule for Weighted {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        let total: f64 = (0..view.n)
+            .filter(|&p| view.runnable[p])
+            .map(|p| self.weights.get(p).copied().unwrap_or(0.0))
+            .sum();
+        if total <= 0.0 {
+            return view.next_runnable_from(0).unwrap_or(ProcId(0));
+        }
+        let mut x = self.rng.random_range(0.0..total);
+        for p in 0..view.n {
+            if !view.runnable[p] {
+                continue;
+            }
+            let w = self.weights.get(p).copied().unwrap_or(0.0);
+            if x < w {
+                return ProcId(p);
+            }
+            x -= w;
+        }
+        view.next_runnable_from(0).unwrap_or(ProcId(0))
+    }
+}
+
+/// An explicit step script, repeated cyclically once exhausted.
+#[derive(Clone, Debug)]
+pub struct Scripted {
+    script: Vec<ProcId>,
+    cursor: usize,
+}
+
+impl Scripted {
+    /// Creates the schedule from a non-empty step script.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `script` is empty.
+    pub fn new(script: Vec<ProcId>) -> Self {
+        assert!(!script.is_empty(), "script must be non-empty");
+        Scripted { script, cursor: 0 }
+    }
+}
+
+impl Schedule for Scripted {
+    fn next(&mut self, _view: &ScheduleView<'_>) -> ProcId {
+        let p = self.script[self.cursor % self.script.len()];
+        self.cursor += 1;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(runnable: &'a [bool], time: u64) -> ScheduleView<'a> {
+        ScheduleView {
+            n: runnable.len(),
+            runnable,
+            time,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new();
+        let r = [true, true, true];
+        let seq: Vec<usize> = (0..6).map(|t| s.next(&view(&r, t)).0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_skips_crashed() {
+        let mut s = RoundRobin::new();
+        let r = [true, false, true];
+        let seq: Vec<usize> = (0..4).map(|t| s.next(&view(&r, t)).0).collect();
+        assert_eq!(seq, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn partially_synchronous_growing_gaps() {
+        let mut s = PartiallySynchronous::new(vec![ProcId(0), ProcId(1)], 2, true);
+        let r = [true, true, true];
+        let mut slow_times = Vec::new();
+        for t in 0..200 {
+            if s.next(&view(&r, t)) == ProcId(2) {
+                slow_times.push(t);
+            }
+        }
+        assert!(slow_times.len() >= 3);
+        // gaps between slow steps must grow
+        let gaps: Vec<u64> = slow_times.windows(2).map(|w| w[1] - w[0]).collect();
+        for w in gaps.windows(2) {
+            assert!(w[1] > w[0], "gaps must grow: {gaps:?}");
+        }
+    }
+
+    #[test]
+    fn solo_after_switches() {
+        let mut s = SoloAfter::new(4, ProcId(2));
+        let r = [true, true, true];
+        let seq: Vec<usize> = (0..8).map(|t| s.next(&view(&r, t)).0).collect();
+        assert_eq!(&seq[4..], &[2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn scripted_repeats() {
+        let mut s = Scripted::new(vec![ProcId(1), ProcId(0)]);
+        let r = [true, true];
+        let seq: Vec<usize> = (0..5).map(|t| s.next(&view(&r, t)).0).collect();
+        assert_eq!(seq, vec![1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn seeded_random_is_deterministic() {
+        let r = [true, true, true, true];
+        let run = |seed| {
+            let mut s = SeededRandom::new(seed);
+            (0..50).map(|t| s.next(&view(&r, t)).0).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn weighted_prefers_heavy() {
+        let mut s = Weighted::new(vec![100.0, 1.0], 42);
+        let r = [true, true];
+        let heavy = (0..1000)
+            .filter(|&t| s.next(&view(&r, t)) == ProcId(0))
+            .count();
+        assert!(heavy > 900, "heavy process took {heavy}/1000 steps");
+    }
+
+    #[test]
+    fn flicker_has_growing_silences() {
+        let mut s = Flicker::new(ProcId(0), 3, 4);
+        let r = [true, true, true];
+        let mut times = Vec::new();
+        for t in 0..500 {
+            if s.next(&view(&r, t)) == ProcId(0) {
+                times.push(t);
+            }
+        }
+        // find the largest gap in the first half vs second half: must grow
+        let gap = |ts: &[u64]| ts.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let mid = times.len() / 2;
+        assert!(gap(&times[mid..]) > gap(&times[..mid.max(2)]));
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests: the temporal-predicate helpers against naive
+//! step-function evaluations.
+
+use proptest::prelude::*;
+use tbwf_sim::analysis::{bounded_suffix, holds_from, increases_without_bound, value_at};
+
+fn series_strategy() -> impl Strategy<Value = Vec<(u64, i64)>> {
+    prop::collection::vec((0u64..200, -5i64..6), 0..30).prop_map(|mut v| {
+        v.sort_by_key(|(t, _)| *t);
+        v.dedup_by_key(|(t, _)| *t);
+        v
+    })
+}
+
+proptest! {
+    /// `holds_from` returns the start of the final true-streak: every
+    /// observation at or after it satisfies the predicate, and the
+    /// observation immediately before it (if any) does not.
+    #[test]
+    fn holds_from_is_final_streak(series in series_strategy(), threshold in -5i64..6) {
+        let pred = |v: i64| v >= threshold;
+        match holds_from(&series, pred) {
+            Some(t0) => {
+                for (t, v) in &series {
+                    if *t >= t0 {
+                        prop_assert!(pred(*v), "obs at {t} violates pred after {t0}");
+                    }
+                }
+                let before: Vec<_> = series.iter().filter(|(t, _)| *t < t0).collect();
+                if let Some((_, v)) = before.last() {
+                    prop_assert!(!pred(*v), "streak should extend earlier");
+                }
+            }
+            None => {
+                if let Some((_, v)) = series.last() {
+                    prop_assert!(!pred(*v));
+                }
+            }
+        }
+    }
+
+    /// `value_at` agrees with a naive scan.
+    #[test]
+    fn value_at_matches_naive(series in series_strategy(), t in 0u64..220) {
+        let naive = series.iter().rfind(|(ot, _)| *ot <= t).map(|(_, v)| *v);
+        prop_assert_eq!(value_at(&series, t), naive);
+    }
+
+    /// A constant series is bounded at every fraction and never
+    /// "increases without bound".
+    #[test]
+    fn constant_series_is_bounded(v in -5i64..6, times in prop::collection::btree_set(0u64..100, 1..10)) {
+        let series: Vec<(u64, i64)> = times.into_iter().map(|t| (t, v)).collect();
+        prop_assert!(bounded_suffix(&series, 100, 0.5));
+        prop_assert!(!increases_without_bound(&series, 100, 4));
+    }
+
+    /// A strictly increasing dense series does increase without bound.
+    #[test]
+    fn linear_series_increases(n in 8u64..40) {
+        let series: Vec<(u64, i64)> = (0..n).map(|i| (i * 100 / n, i as i64)).collect();
+        prop_assert!(increases_without_bound(&series, 100, 4));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests: the timeliness analyzer against brute-force
+//! enumerations of Definition 1.
+
+use proptest::prelude::*;
+use tbwf_sim::timeliness::{q_timely_bound, timely_bound, windowed_bounds};
+use tbwf_sim::ProcId;
+
+/// Brute force for Definition 1: the minimal `i ≥ 1` such that every
+/// contiguous interval containing `i` steps of `q` has at least one step
+/// of `p` — computed by enumerating all intervals.
+fn brute_q_timely_bound(steps: &[ProcId], p: ProcId, q: ProcId) -> u64 {
+    let n = steps.len();
+    let mut worst = 0u64; // max q-steps in a p-free interval
+    for lo in 0..n {
+        let mut qs = 0u64;
+        for s in &steps[lo..] {
+            if *s == p {
+                break;
+            }
+            if *s == q {
+                qs += 1;
+            }
+            worst = worst.max(qs);
+        }
+    }
+    worst + 1
+}
+
+fn brute_timely_bound(steps: &[ProcId], p: ProcId) -> u64 {
+    let n = steps.len();
+    let mut worst = 0u64;
+    for lo in 0..n {
+        let mut len = 0u64;
+        for s in &steps[lo..] {
+            if *s == p {
+                break;
+            }
+            len += 1;
+            worst = worst.max(len);
+        }
+    }
+    worst + 1
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<ProcId>> {
+    prop::collection::vec(0usize..4, 0..60).prop_map(|v| v.into_iter().map(ProcId).collect())
+}
+
+proptest! {
+    #[test]
+    fn q_timely_bound_matches_brute_force(steps in steps_strategy(), p in 0usize..4, q in 0usize..4) {
+        prop_assume!(p != q);
+        let fast = q_timely_bound(&steps, ProcId(p), ProcId(q));
+        let brute = brute_q_timely_bound(&steps, ProcId(p), ProcId(q));
+        prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn timely_bound_matches_brute_force(steps in steps_strategy(), p in 0usize..4) {
+        let fast = timely_bound(&steps, ProcId(p));
+        let brute = brute_timely_bound(&steps, ProcId(p));
+        prop_assert_eq!(fast, brute);
+    }
+
+    /// Bounds are at least 1 and at most the trace length + 1.
+    #[test]
+    fn bounds_are_in_range(steps in steps_strategy(), p in 0usize..4) {
+        let b = timely_bound(&steps, ProcId(p));
+        prop_assert!(b >= 1);
+        prop_assert!(b as usize <= steps.len() + 1);
+    }
+
+    /// A process that takes every step has bound exactly 1.
+    #[test]
+    fn solo_process_has_bound_one(len in 1usize..50) {
+        let steps = vec![ProcId(2); len];
+        prop_assert_eq!(timely_bound(&steps, ProcId(2)), 1);
+    }
+
+    /// Appending more steps of p never increases p's bound beyond the
+    /// old bound plus nothing — monotonicity: the bound over a prefix is
+    /// at most the bound over the full trace when the suffix is all-p.
+    #[test]
+    fn all_p_suffix_never_hurts(steps in steps_strategy(), p in 0usize..4, extra in 1usize..10) {
+        let base = timely_bound(&steps, ProcId(p));
+        let mut longer = steps.clone();
+        longer.extend(std::iter::repeat_n(ProcId(p), extra));
+        let b = timely_bound(&longer, ProcId(p));
+        prop_assert!(b <= base, "suffix of p-steps increased the bound: {b} > {base}");
+    }
+
+    /// Windowed bounds never exceed the whole-trace bound + window edge
+    /// effects are bounded by the window content itself.
+    #[test]
+    fn windowed_bounds_are_local(steps in steps_strategy(), p in 0usize..4, w in 1usize..6) {
+        let bounds = windowed_bounds(&steps, ProcId(p), w);
+        prop_assert_eq!(bounds.len(), if steps.is_empty() { w } else { steps.len().div_ceil(steps.len().div_ceil(w)) });
+        for b in bounds {
+            prop_assert!(b >= 1);
+        }
+    }
+}

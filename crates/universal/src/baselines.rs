@@ -1,0 +1,365 @@
+//! Baselines the paper positions itself against (Sections 1.2 and 2).
+//!
+//! * [`drive_obstruction_free`] — the query-abortable object used
+//!   directly, with no coordination at all: obstruction-free, and under
+//!   steady contention essentially no one makes progress.
+//! * [`FlmsBoost`] — a panic-flag booster in the style of Fich,
+//!   Luchangco, Moir & Shavit \[7\]: on contention everyone publishes a
+//!   timestamp and defers to the minimal one. It boosts
+//!   obstruction-freedom to wait-freedom **when all correct processes are
+//!   timely**, but it is not gracefully degrading: a single
+//!   correct-but-slow timestamp holder stalls every timely process
+//!   (experiment E5 reproduces the paper's Section 2 claim). This is a
+//!   faithful-in-spirit simplification of \[7\] — same coordination
+//!   structure (panic flag + minimal timestamp wins), without the
+//!   bounded-timeout rotation refinements.
+//! * [`CasUniversal`] — a Herlihy-style wait-free universal construction
+//!   from compare-and-swap with helping via an announce array: the
+//!   "strong synchronization primitives" alternative of Section 1.2.
+//!   Wait-free for everyone regardless of timeliness, but built from an
+//!   object strictly stronger than (abortable) registers.
+
+use crate::object::{ObjectType, Outcome};
+use crate::qa::{Entry, QaSession};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tbwf_registers::{RegisterFactory, SharedAtomic, SharedCas};
+use tbwf_sim::{Env, ProcId, SimResult};
+
+/// Drives one operation on the query-abortable object with *no*
+/// coordination: the plain obstruction-free baseline. Returns the
+/// response once the operation completes; under contention this may spin
+/// for the whole run (which is the point of the baseline).
+///
+/// # Errors
+///
+/// Returns [`Halted`](tbwf_sim::Halted) when the run ends.
+pub fn drive_obstruction_free<T: ObjectType>(
+    env: &dyn Env,
+    session: &mut QaSession<T>,
+    op: T::Op,
+) -> SimResult<T::Resp> {
+    let mut query_next = false;
+    loop {
+        let res = if query_next {
+            session.query(env)?
+        } else {
+            session.apply(env, op.clone())?
+        };
+        match res {
+            Outcome::Done(v) => return Ok(v),
+            Outcome::Bot => query_next = true,
+            Outcome::NoEffect => query_next = false,
+        }
+        env.tick()?;
+    }
+}
+
+/// Timestamp value meaning "not waiting".
+const TS_INF: i64 = i64::MAX;
+
+/// Shared state of the FLMS-style panic booster.
+pub struct FlmsShared {
+    /// The panic flag: set when some process suspects contention.
+    pub panic: SharedAtomic<bool>,
+    /// `ts[p]`: the timestamp `p` is waiting with (`TS_INF` if none).
+    pub ts: Vec<SharedAtomic<i64>>,
+    /// Timestamp generator (read-increment-write; ties broken by id).
+    pub ts_gen: SharedAtomic<i64>,
+}
+
+impl FlmsShared {
+    /// Creates the booster's shared registers for `n` processes.
+    pub fn new(factory: &RegisterFactory, n: usize) -> Arc<Self> {
+        Arc::new(FlmsShared {
+            panic: factory.atomic("FLMS.panic", false),
+            ts: (0..n)
+                .map(|q| factory.atomic(&format!("FLMS.ts[{q}]"), TS_INF))
+                .collect(),
+            ts_gen: factory.atomic("FLMS.tsGen", 0),
+        })
+    }
+}
+
+/// Per-process driver of the FLMS-style booster.
+pub struct FlmsBoost {
+    shared: Arc<FlmsShared>,
+    /// Fast-path attempts before panicking.
+    pub panic_threshold: u32,
+}
+
+impl FlmsBoost {
+    /// Creates a driver with the default panic threshold.
+    pub fn new(shared: Arc<FlmsShared>) -> Self {
+        FlmsBoost {
+            shared,
+            panic_threshold: 4,
+        }
+    }
+
+    /// Executes `op`: fast path while the panic flag is clear; on panic,
+    /// publish a timestamp and proceed only as the minimal waiter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`](tbwf_sim::Halted) when the run ends.
+    pub fn invoke<T: ObjectType>(
+        &self,
+        env: &dyn Env,
+        session: &mut QaSession<T>,
+        op: T::Op,
+    ) -> SimResult<T::Resp> {
+        let p = session.pid();
+        let n = self.shared.ts.len();
+        let mut attempts = 0u32;
+        let mut registered = false;
+        let mut my_ts = TS_INF;
+        let mut query_next = false;
+        let drive = |env: &dyn Env,
+                     session: &mut QaSession<T>,
+                     query_next: &mut bool|
+         -> SimResult<Option<T::Resp>> {
+            let res = if *query_next {
+                session.query(env)?
+            } else {
+                session.apply(env, op.clone())?
+            };
+            Ok(match res {
+                Outcome::Done(v) => Some(v),
+                Outcome::Bot => {
+                    *query_next = true;
+                    None
+                }
+                Outcome::NoEffect => {
+                    *query_next = false;
+                    None
+                }
+            })
+        };
+        loop {
+            env.tick()?;
+            if !self.shared.panic.read(env)? {
+                // Fast path: try the obstruction-free object directly.
+                if let Some(v) = drive(env, session, &mut query_next)? {
+                    if registered {
+                        self.shared.ts[p.0].write(env, TS_INF)?;
+                    }
+                    return Ok(v);
+                }
+                attempts += 1;
+                if attempts > self.panic_threshold {
+                    self.shared.panic.write(env, true)?;
+                }
+            } else {
+                // Panic mode: publish a timestamp once. The read+write on
+                // ts_gen is not atomic, so two processes may acquire the
+                // same timestamp; the minimal-waiter comparison below
+                // tie-breaks on (ts, id), which keeps the winner unique.
+                if !registered {
+                    let t = self.shared.ts_gen.read(env)?;
+                    self.shared.ts_gen.write(env, t + 1)?;
+                    self.shared.ts[p.0].write(env, t)?;
+                    my_ts = t;
+                    registered = true;
+                }
+                // …and proceed only while holding the minimal (ts, id).
+                let mut min = (my_ts, p.0);
+                for q in 0..n {
+                    let tq = self.shared.ts[q].read(env)?;
+                    if tq != TS_INF && (tq, q) < min {
+                        min = (tq, q);
+                    }
+                }
+                if min == (my_ts, p.0) {
+                    if let Some(v) = drive(env, session, &mut query_next)? {
+                        self.shared.ts[p.0].write(env, TS_INF)?;
+                        self.shared.panic.write(env, false)?;
+                        return Ok(v);
+                    }
+                }
+                // Not minimal: wait. This wait is exactly what makes the
+                // booster non-gracefully-degrading — the minimal holder
+                // may be arbitrarily slow.
+            }
+        }
+    }
+}
+
+/// Herlihy-style wait-free universal construction from CAS, with helping.
+pub struct CasUniversal<T: ObjectType> {
+    ty: Arc<T>,
+    n: usize,
+    factory: Arc<RegisterFactory>,
+    announce: Vec<SharedAtomic<Option<Entry<T::Op>>>>,
+    decisions: Mutex<Vec<DecisionReg<T>>>,
+}
+
+/// One slot's decision register in the CAS construction.
+type DecisionReg<T> = SharedCas<Option<Entry<<T as ObjectType>::Op>>>;
+
+impl<T: ObjectType> CasUniversal<T> {
+    /// Creates the shared object for `n` processes.
+    pub fn new(ty: T, n: usize, factory: Arc<RegisterFactory>) -> Arc<Self> {
+        let announce = (0..n)
+            .map(|q| factory.atomic(&format!("Announce[{q}]"), None))
+            .collect();
+        Arc::new(CasUniversal {
+            ty: Arc::new(ty),
+            n,
+            factory,
+            announce,
+            decisions: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn decision(&self, s: usize) -> DecisionReg<T> {
+        let mut d = self.decisions.lock();
+        while d.len() <= s {
+            let i = d.len();
+            d.push(self.factory.cas(&format!("Decide[{i}]"), None));
+        }
+        Arc::clone(&d[s])
+    }
+
+    /// Opens a session for process `p`.
+    pub fn session(self: &Arc<Self>, p: ProcId) -> CasSession<T> {
+        CasSession {
+            obj: Arc::clone(self),
+            p,
+            replica: self.ty.initial(),
+            last_of: vec![None; self.n],
+            cursor: 0,
+            my_seq: 0,
+        }
+    }
+}
+
+/// Per-process handle on a [`CasUniversal`] object.
+pub struct CasSession<T: ObjectType> {
+    obj: Arc<CasUniversal<T>>,
+    p: ProcId,
+    replica: T::State,
+    last_of: Vec<Option<(u64, T::Resp)>>,
+    cursor: usize,
+    my_seq: u64,
+}
+
+impl<T: ObjectType> CasSession<T> {
+    fn applied(&self, e: &Entry<T::Op>) -> bool {
+        self.last_of[e.proposer.0]
+            .as_ref()
+            .is_some_and(|(seq, _)| *seq >= e.seq)
+    }
+
+    fn replay_one(&mut self, e: Entry<T::Op>) {
+        if !self.applied(&e) {
+            let resp = self.obj.ty.apply(&mut self.replica, &e.op);
+            self.last_of[e.proposer.0] = Some((e.seq, resp));
+        }
+        self.cursor += 1;
+    }
+
+    /// Executes `op`, returning its response. Wait-free for every process
+    /// that keeps taking steps, via announce-array helping — but requires
+    /// CAS, a strong primitive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Halted`](tbwf_sim::Halted) when the run ends.
+    pub fn apply(&mut self, env: &dyn Env, op: T::Op) -> SimResult<T::Resp> {
+        self.my_seq += 1;
+        let mine = Entry {
+            proposer: self.p,
+            seq: self.my_seq,
+            op,
+        };
+        self.obj.announce[self.p.0].write(env, Some(mine.clone()))?;
+        loop {
+            // Replay decided slots.
+            loop {
+                let d = self.obj.decision(self.cursor);
+                match d.read(env)? {
+                    Some(e) => self.replay_one(e),
+                    None => break,
+                }
+            }
+            if let Some((seq, resp)) = &self.last_of[self.p.0] {
+                if *seq == mine.seq {
+                    let r = resp.clone();
+                    self.obj.announce[self.p.0].write(env, None)?;
+                    return Ok(r);
+                }
+            }
+            // Decide the frontier slot, helping the slot's owner.
+            let s = self.cursor;
+            let helped = self.obj.announce[s % self.obj.n].read(env)?;
+            let cand = match helped {
+                Some(e) if !self.applied(&e) => e,
+                _ => mine.clone(),
+            };
+            let d = self.obj.decision(s);
+            let _ = d.compare_and_swap(env, &None, Some(cand))?;
+            // Loop: the slot is now decided (by us or a racer).
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Counter, CounterOp};
+    use crate::qa::QaObject;
+    use tbwf_registers::RegisterFactoryConfig;
+    use tbwf_sim::FreeRunEnv;
+
+    fn factory() -> Arc<RegisterFactory> {
+        Arc::new(RegisterFactory::new(RegisterFactoryConfig::default()))
+    }
+
+    #[test]
+    fn obstruction_free_driver_completes_solo() {
+        let obj = QaObject::new(Counter, 2, factory());
+        let env = FreeRunEnv::new(ProcId(0));
+        let mut s = obj.session(ProcId(0));
+        for i in 1..=10 {
+            let v = drive_obstruction_free(&env, &mut s, CounterOp::Inc).unwrap();
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn cas_universal_sequential_sessions() {
+        let f = factory();
+        let obj = CasUniversal::new(Counter, 2, f);
+        let env0 = FreeRunEnv::new(ProcId(0));
+        let env1 = FreeRunEnv::new(ProcId(1));
+        let mut s0 = obj.session(ProcId(0));
+        let mut s1 = obj.session(ProcId(1));
+        let mut responses = Vec::new();
+        for i in 0..10 {
+            let v = if i % 2 == 0 {
+                s0.apply(&env0, CounterOp::Inc).unwrap()
+            } else {
+                s1.apply(&env1, CounterOp::Inc).unwrap()
+            };
+            responses.push(v);
+        }
+        let mut sorted = responses.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..=10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn flms_solo_completes() {
+        let f = factory();
+        let obj = QaObject::new(Counter, 2, Arc::clone(&f));
+        let shared = FlmsShared::new(&f, 2);
+        let boost = FlmsBoost::new(shared);
+        let env = FreeRunEnv::new(ProcId(0));
+        let mut s = obj.session(ProcId(0));
+        for i in 1..=5 {
+            let v = boost.invoke(&env, &mut s, CounterOp::Inc).unwrap();
+            assert_eq!(v, i);
+        }
+    }
+}

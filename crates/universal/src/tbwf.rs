@@ -1,0 +1,145 @@
+//! Figure 7: the timeliness-based wait-free transform.
+//!
+//! `invoke_tbwf` executes one operation `op` on an object `O` of type `T`
+//! by combining the dynamic leader elector Ω∆ with the wait-free
+//! query-abortable object `O_QA`:
+//!
+//! 1. wait until `leader_p ≠ p` (the *canonical use* of Ω∆, Definition 6 —
+//!    without this wait a timely process could monopolize the object,
+//!    winning every election; see experiment E7);
+//! 2. become a candidate;
+//! 3. whenever Ω∆ says `leader_p = p`, run the Figure 8 state machine on
+//!    `O_QA`: `op` → on `⊥` switch to `query` → on `F` retry `op` → on a
+//!    normal response, stop competing and return.
+//!
+//! Theorem 14: this yields a timeliness-based wait-free implementation of
+//! `T`; with the abortable-register Ω∆ and the abortable-register `O_QA`,
+//! Theorem 15: *every* type has a TBWF implementation from abortable
+//! registers.
+
+use crate::object::{ObjectType, Outcome};
+use crate::qa::QaSession;
+use tbwf_omega::{OmegaHandles, OBS_CANDIDATE};
+use tbwf_sim::{Env, SimResult};
+
+/// What the Figure 8 state machine will invoke next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum NextInvocation {
+    Op,
+    Query,
+}
+
+fn set_candidate(env: &dyn Env, omega: &OmegaHandles, v: bool) {
+    if omega.candidate.get() != v {
+        omega.candidate.set(v);
+        env.observe(OBS_CANDIDATE, 0, v as i64);
+    }
+}
+
+/// Executes `op` on the TBWF object (Figure 7, lines 1–10). Blocks (in
+/// simulation steps) until the operation completes; a timely caller always
+/// returns in finitely many of its own steps.
+///
+/// See `tbwf::TbwfSystemBuilder` (crate `tbwf`) for the high-level way to
+/// assemble the whole system; this function is the raw per-process driver
+/// used by its workers:
+///
+/// ```no_run
+/// # use tbwf_universal::{tbwf::invoke_tbwf, object::{Counter, CounterOp}, QaSession};
+/// # use tbwf_omega::OmegaHandles;
+/// # fn worker(
+/// #     env: &dyn tbwf_sim::Env,
+/// #     session: &mut QaSession<Counter>,
+/// #     omega: &OmegaHandles,
+/// # ) -> tbwf_sim::SimResult<()> {
+/// let response = invoke_tbwf(env, session, omega, CounterOp::Inc)?;
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Halted`](tbwf_sim::Halted) when the run ends.
+pub fn invoke_tbwf<T: ObjectType>(
+    env: &dyn Env,
+    session: &mut QaSession<T>,
+    omega: &OmegaHandles,
+    op: T::Op,
+) -> SimResult<T::Resp> {
+    let p = session.pid();
+    // 2: while LEADER = p do skip   (canonical use of Ω∆)
+    env.observe("phase", 0, 1);
+    while omega.leader.get() == Some(p) {
+        env.tick()?;
+    }
+    // 3: CANDIDATE ← true
+    set_candidate(env, omega, true);
+    // 4: op' ← op
+    let mut next = NextInvocation::Op;
+    // 5: repeat forever
+    env.observe("phase", 0, 2);
+    let mut observed_applying = false;
+    loop {
+        env.tick()?;
+        // 6: if LEADER = p
+        if omega.leader.get() == Some(p) {
+            if !observed_applying {
+                observed_applying = true;
+                env.observe("phase", 0, 3);
+            }
+            // 7: res ← invoke(op', O_QA, T_QA)
+            let res = match next {
+                NextInvocation::Op => session.apply(env, op.clone())?,
+                NextInvocation::Query => session.query(env)?,
+            };
+            match res {
+                // 8: normal response ⇒ stop competing and return.
+                Outcome::Done(v) => {
+                    set_candidate(env, omega, false);
+                    return Ok(v);
+                }
+                // 9: ⊥ ⇒ ask about the fate of op.
+                Outcome::Bot => next = NextInvocation::Query,
+                // 10: F ⇒ op did not take effect; try it again.
+                Outcome::NoEffect => next = NextInvocation::Op,
+            }
+        }
+    }
+}
+
+/// A non-canonical variant that **omits the line-2 wait**, used only by
+/// experiment E7 to demonstrate why the wait is necessary: with it
+/// removed, a timely process can win every election and monopolize the
+/// object, starving the other timely processes.
+///
+/// # Errors
+///
+/// Returns [`Halted`](tbwf_sim::Halted) when the run ends.
+pub fn invoke_tbwf_non_canonical<T: ObjectType>(
+    env: &dyn Env,
+    session: &mut QaSession<T>,
+    omega: &OmegaHandles,
+    op: T::Op,
+) -> SimResult<T::Resp> {
+    set_candidate(env, omega, true);
+    let p = session.pid();
+    let mut next = NextInvocation::Op;
+    loop {
+        env.tick()?;
+        if omega.leader.get() == Some(p) {
+            let res = match next {
+                NextInvocation::Op => session.apply(env, op.clone())?,
+                NextInvocation::Query => session.query(env)?,
+            };
+            match res {
+                Outcome::Done(v) => {
+                    // Note: candidate stays true — the monopolist never
+                    // yields leadership.
+                    return Ok(v);
+                }
+                Outcome::Bot => next = NextInvocation::Query,
+                Outcome::NoEffect => next = NextInvocation::Op,
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! An atomic snapshot object with the TBWF guarantee.
+//!
+//! Atomic snapshots (per-process updates + instantaneous scans of all
+//! segments) are a classic shared-memory abstraction that is notoriously
+//! fiddly to implement from registers directly. Through the paper's
+//! universal construction the atomicity is free — every scan linearizes
+//! in the decided log — and the progress guarantee is TBWF: every timely
+//! process completes its updates and scans.
+//!
+//! Run with: `cargo run --release --example atomic_snapshot`
+
+use tbwf::prelude::*;
+
+fn main() {
+    let n = 3;
+    let mut b = TbwfSystemBuilder::new(Snapshot::new(n))
+        .processes(n)
+        .seed(77);
+    for p in 0..n {
+        b = b.workload(
+            p,
+            Workload::Script(vec![
+                SnapshotOp::Update {
+                    segment: p,
+                    value: (p + 1) as i64 * 10,
+                },
+                SnapshotOp::Scan,
+                SnapshotOp::Update {
+                    segment: p,
+                    value: (p + 1) as i64 * 100,
+                },
+                SnapshotOp::Scan,
+            ]),
+        );
+    }
+    let run = b.run(RunConfig::new(500_000, RoundRobin::new()));
+    run.report.assert_no_panics();
+
+    println!("TBWF atomic snapshot, {n} processes (each updates its own segment):\n");
+    for (p, results) in run.results.iter().enumerate() {
+        for r in results {
+            if let SnapshotResp::View(v) = &r.resp {
+                println!("  p{p} scanned {v:?} at t={}", r.time);
+            }
+        }
+    }
+    assert_eq!(run.completed, vec![4, 4, 4]);
+
+    // Consistency: in every scanned view, each segment holds one of the
+    // three values its owner ever wrote (0, 10·(p+1), 100·(p+1)), and a
+    // process's own second scan must see its own second update.
+    for (p, results) in run.results.iter().enumerate() {
+        let views: Vec<&Vec<i64>> = results
+            .iter()
+            .filter_map(|r| match &r.resp {
+                SnapshotResp::View(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        for view in &views {
+            for (seg, &val) in view.iter().enumerate() {
+                let owner = (seg + 1) as i64;
+                assert!(
+                    val == 0 || val == owner * 10 || val == owner * 100,
+                    "segment {seg} holds a value never written: {val}"
+                );
+            }
+        }
+        let last = views.last().expect("two scans per process");
+        assert_eq!(
+            last[p],
+            (p + 1) as i64 * 100,
+            "p{p}'s final scan must see its own final update"
+        );
+    }
+    // And the whole history is linearizable (complete check).
+    assert_run_linearizable(&Snapshot::new(n), &run);
+    println!("\n  all views consistent; full history linearizable ✓");
+}
