@@ -15,11 +15,17 @@ fn run_pair(steps: u64) {
     pair.monitored_side.active_for.set(true);
     let mut b = SimBuilder::new();
     let p0 = b.add_process("p0");
-    let ms = pair.monitoring_side;
-    b.add_task(p0, "monitoring", move |env| ms.run(&env));
+    b.add_stepper(
+        p0,
+        "monitoring",
+        Box::new(pair.monitoring_side.into_stepper()),
+    );
     let p1 = b.add_process("p1");
-    let md = pair.monitored_side;
-    b.add_task(p1, "monitored", move |env| md.run(&env));
+    b.add_stepper(
+        p1,
+        "monitored",
+        Box::new(pair.monitored_side.into_stepper()),
+    );
     let report = b.build().run(RunConfig::new(steps, RoundRobin::new()));
     report.assert_no_panics();
 }

@@ -1,0 +1,86 @@
+//! B5 — step-engine throughput: the same 3-process Ω∆ system driven by
+//! the native poll backend (direct `Stepper::step` calls) vs the
+//! blocking-thread adapter (one gate-backed OS thread per task, two
+//! condvar handoffs per step).
+//!
+//! Both runs execute an identical number of global steps and produce
+//! byte-identical traces (see `backends_agree_on_full_omega_system` in
+//! `tbwf-omega`), so the per-iteration time ratio is exactly the
+//! per-step engine overhead ratio.
+
+// `for p in 0..N` indexing parallel handle vectors mirrors the paper's
+// per-process wiring; an iterator chain would obscure it.
+#![allow(clippy::needless_range_loop)]
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use tbwf_omega::harness::install_omega;
+use tbwf_omega::{add_candidate_driver, CandidateScript, OmegaKind};
+use tbwf_registers::{RegisterFactory, RegisterFactoryConfig};
+use tbwf_sim::schedule::RoundRobin;
+use tbwf_sim::{ProcId, RunConfig, SimBuilder, TaskBody, TaskSpawner};
+
+/// Global steps per iteration; one iteration = one complete system run.
+const STEPS: u64 = 10_000;
+const N: usize = 3;
+
+/// Hides the builder's native poll backend so every stepper goes through
+/// the default blocking adapter and runs on a gate-backed thread.
+struct ThreadBackend<'a>(&'a mut SimBuilder);
+
+impl TaskSpawner for ThreadBackend<'_> {
+    fn spawn_task(&mut self, pid: ProcId, name: &str, body: TaskBody) {
+        self.0.spawn_task(pid, name, body);
+    }
+}
+
+fn omega_run(kind: OmegaKind, threads: bool) {
+    let factory = RegisterFactory::new(RegisterFactoryConfig::default());
+    let mut b = SimBuilder::new();
+    for p in 0..N {
+        b.add_process(&format!("p{p}"));
+    }
+    let handles;
+    if threads {
+        let mut t = ThreadBackend(&mut b);
+        handles = install_omega(&mut t, &factory, N, kind);
+        for p in 0..N {
+            add_candidate_driver(&mut t, ProcId(p), &handles[p], CandidateScript::Always);
+        }
+    } else {
+        handles = install_omega(&mut b, &factory, N, kind);
+        for p in 0..N {
+            add_candidate_driver(&mut b, ProcId(p), &handles[p], CandidateScript::Always);
+        }
+    }
+    let report = b.build().run(RunConfig::new(STEPS, RoundRobin::new()));
+    report.assert_no_panics();
+    assert!(
+        handles[0].leader.get().is_some(),
+        "no leader elected in bench run"
+    );
+}
+
+fn step_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("step-throughput");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .throughput(Throughput::Elements(STEPS));
+    for kind in [OmegaKind::Atomic, OmegaKind::Abortable] {
+        let tag = format!("{kind:?}").to_lowercase();
+        g.bench_with_input(
+            BenchmarkId::new("stepper", format!("{tag}-n{N}-{STEPS}steps")),
+            &kind,
+            |b, &kind| b.iter(|| omega_run(kind, false)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("thread", format!("{tag}-n{N}-{STEPS}steps")),
+            &kind,
+            |b, &kind| b.iter(|| omega_run(kind, true)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, step_throughput);
+criterion_main!(benches);

@@ -4,11 +4,11 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tbwf_omega::harness::install_omega;
-use tbwf_omega::OmegaKind;
+use tbwf_omega::{OmegaHandles, OmegaKind};
 use tbwf_registers::{AbortPolicy, EffectPolicy, OpLog, RegisterFactory, RegisterFactoryConfig};
-use tbwf_sim::{Env, ProcId, RunConfig, RunReport, SimBuilder};
-use tbwf_universal::qa::QaObject;
-use tbwf_universal::tbwf::invoke_tbwf;
+use tbwf_sim::{Control, Env, ProcId, RunConfig, RunReport, SimBuilder, StepCtx, Stepper};
+use tbwf_universal::qa::{QaObject, QaSession};
+use tbwf_universal::tbwf::TbwfCall;
 use tbwf_universal::ObjectType;
 
 /// Observation key: completed-operation count of a worker.
@@ -96,6 +96,73 @@ impl<T: ObjectType> TbwfRun<T> {
             .collect();
         all.sort_by_key(|(_, r)| r.time);
         all
+    }
+}
+
+/// The scripted Figure 7 worker in poll form: one [`TbwfCall`] per
+/// workload entry, results pushed into the shared sink as they complete.
+struct SystemWorker<T: ObjectType> {
+    p: usize,
+    workload: Workload<T>,
+    session: QaSession<T>,
+    omega: OmegaHandles,
+    sink: Arc<Mutex<Vec<Vec<OpResult<T>>>>>,
+    i: u64,
+    started: bool,
+    invoked: u64,
+    cur_op: Option<T::Op>,
+    call: Option<TbwfCall<T>>,
+}
+
+impl<T: ObjectType> SystemWorker<T> {
+    /// Arms the next scripted operation, or reports the workload done.
+    fn next_op(&mut self, env: &dyn Env) -> Control {
+        match self.workload.op_at(self.i) {
+            None => {
+                self.call = None;
+                Control::Done
+            }
+            Some(op) => {
+                self.invoked = env.now();
+                self.cur_op = Some(op.clone());
+                self.call = Some(TbwfCall::new(op, true));
+                Control::Yield
+            }
+        }
+    }
+}
+
+impl<T: ObjectType> Stepper for SystemWorker<T> {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        if !self.started {
+            self.started = true;
+            env.observe(OBS_COMPLETED, 0, 0);
+            if self.next_op(env) == Control::Done {
+                return Control::Done;
+            }
+        }
+        loop {
+            let call = self.call.as_mut().expect("worker has a call in flight");
+            match call.poll(env, &mut self.session, &self.omega) {
+                None => return Control::Yield,
+                Some(resp) => {
+                    self.i += 1;
+                    self.sink.lock()[self.p].push(OpResult {
+                        invoked: self.invoked,
+                        time: env.now(),
+                        op: self.cur_op.take().expect("current op recorded"),
+                        resp,
+                    });
+                    env.observe(OBS_COMPLETED, 0, self.i as i64);
+                    // The next call's first segment runs in the segment
+                    // that completed this one, like the blocking loop.
+                    if self.next_op(env) == Control::Done {
+                        return Control::Done;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -192,26 +259,19 @@ impl<T: ObjectType> TbwfSystemBuilder<T> {
             if matches!(workload, Workload::Idle) {
                 continue;
             }
-            let mut session = obj.session(ProcId(p));
-            let omega = omega_handles[p].clone();
-            let sink = Arc::clone(&sink);
-            b.add_task(ProcId(p), "worker", move |env| {
-                env.observe(OBS_COMPLETED, 0, 0);
-                let mut i = 0u64;
-                while let Some(op) = workload.op_at(i) {
-                    let invoked = env.now();
-                    let resp = invoke_tbwf(&env, &mut session, &omega, op.clone())?;
-                    i += 1;
-                    sink.lock()[p].push(OpResult {
-                        invoked,
-                        time: env.now(),
-                        op,
-                        resp,
-                    });
-                    env.observe(OBS_COMPLETED, 0, i as i64);
-                }
-                Ok(())
-            });
+            let worker = SystemWorker {
+                p,
+                workload,
+                session: obj.session(ProcId(p)),
+                omega: omega_handles[p].clone(),
+                sink: Arc::clone(&sink),
+                i: 0,
+                started: false,
+                invoked: 0,
+                cur_op: None,
+                call: None,
+            };
+            b.add_stepper(ProcId(p), "worker", Box::new(worker));
         }
         let report = b.build().run(run);
         let results = std::mem::take(&mut *sink.lock());

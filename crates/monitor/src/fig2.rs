@@ -12,8 +12,8 @@
 //! Line numbers in the comments refer to Figure 2 of the paper.
 
 use crate::Status;
-use tbwf_registers::{RegisterFactory, SharedAtomic};
-use tbwf_sim::{Env, Local, ProcId, SimResult};
+use tbwf_registers::{OpToken, RegisterFactory, SharedAtomic};
+use tbwf_sim::{Control, Env, Local, ProcId, SimResult, StepCtx, Stepper};
 
 /// Observation keys used by the monitoring side.
 pub const OBS_STATUS: &str = "status";
@@ -51,6 +51,81 @@ impl MonitoredSide {
                 self.hb.write(env, hb_counter)?;
             }
         }
+    }
+
+    /// The same task as [`MonitoredSide::run`] as a poll-driven
+    /// [`Stepper`] (segment-for-segment equivalent to the blocking form).
+    pub fn into_stepper(self) -> MonitoredStepper {
+        MonitoredStepper {
+            side: self,
+            hb_counter: 0,
+            state: MonitoredState::Start,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MonitoredState {
+    /// At the top of the outer loop, about to write `−1`.
+    Start,
+    /// The `−1` write is in flight (line 2).
+    WriteMinus1Pending(OpToken),
+    /// Spinning in the wait loop of line 3.
+    WaitActive,
+    /// A heartbeat write is in flight (line 6).
+    WriteHbPending(OpToken),
+}
+
+/// Poll-driven form of the monitored side of `A(p, q)` (Figure 2, top).
+pub struct MonitoredStepper {
+    side: MonitoredSide,
+    hb_counter: i64,
+    state: MonitoredState,
+}
+
+impl MonitoredStepper {
+    /// Lines 3–5 after a completed write: spin until active, then start
+    /// the next heartbeat write.
+    fn wait_or_beat(&mut self, env: &dyn Env) {
+        if self.side.active_for.get() {
+            self.hb_counter += 1;
+            let tok = self.side.hb.invoke_write(env, self.hb_counter);
+            self.state = MonitoredState::WriteHbPending(tok);
+        } else {
+            self.state = MonitoredState::WaitActive;
+        }
+    }
+}
+
+impl Stepper for MonitoredStepper {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        match self.state {
+            MonitoredState::Start => {
+                // 2: WRITE(HbRegister[q, p], −1)
+                let tok = self.side.hb.invoke_write(env, -1);
+                self.state = MonitoredState::WriteMinus1Pending(tok);
+            }
+            MonitoredState::WriteMinus1Pending(tok) => {
+                self.side.hb.complete_write(env, tok);
+                self.wait_or_beat(env);
+            }
+            MonitoredState::WaitActive => self.wait_or_beat(env),
+            MonitoredState::WriteHbPending(tok) => {
+                self.side.hb.complete_write(env, tok);
+                if self.side.active_for.get() {
+                    // 4–6: next heartbeat.
+                    self.hb_counter += 1;
+                    let tok = self.side.hb.invoke_write(env, self.hb_counter);
+                    self.state = MonitoredState::WriteHbPending(tok);
+                } else {
+                    // Back to line 2.
+                    let tok = self.side.hb.invoke_write(env, -1);
+                    self.state = MonitoredState::WriteMinus1Pending(tok);
+                }
+            }
+        }
+        Control::Yield
     }
 }
 
@@ -160,6 +235,140 @@ impl MonitoringSide {
                 }
             }
         }
+    }
+
+    /// The same task as [`MonitoringSide::run`] as a poll-driven
+    /// [`Stepper`] (segment-for-segment equivalent to the blocking form).
+    pub fn into_stepper(self) -> MonitoringStepper {
+        MonitoringStepper {
+            side: self,
+            hb_timeout: 1,
+            hb_timer: 1,
+            hb_counter: 0,
+            prev_hb_counter: 0,
+            allow_increment: true,
+            state: MonitoringState::Start,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MonitoringState {
+    /// Before the initial observations.
+    Start,
+    /// Spinning in the wait loop of line 9.
+    WaitMon,
+    /// Inside the monitoring loop, right after the per-iteration step
+    /// (line 11's tick); about to run lines 12–13.
+    InnerBody,
+    /// The heartbeat read of line 16 is in flight.
+    ReadPending(OpToken),
+}
+
+/// Poll-driven form of the monitoring side of `A(p, q)` (Figure 2,
+/// bottom).
+pub struct MonitoringStepper {
+    side: MonitoringSide,
+    hb_timeout: u64,
+    hb_timer: u64,
+    hb_counter: i64,
+    prev_hb_counter: i64,
+    allow_increment: bool,
+    state: MonitoringState,
+}
+
+impl MonitoringStepper {
+    /// Lines 9–11: spin until monitoring, then (re-)arm the timer and
+    /// enter the monitoring loop.
+    fn wait_or_enter(&mut self) {
+        if self.side.monitoring.get() {
+            // 10: hbTimer ← hbTimeout
+            self.hb_timer = self.hb_timeout;
+            self.state = MonitoringState::InnerBody;
+        } else {
+            self.state = MonitoringState::WaitMon;
+        }
+    }
+
+    /// The bottom of a monitoring-loop iteration: either go around (line
+    /// 11) or fall out to the top of the outer loop (line 8).
+    fn continue_or_leave(&mut self, env: &dyn Env) {
+        if self.side.monitoring.get() {
+            self.state = MonitoringState::InnerBody;
+        } else {
+            // 8: STATUS[q] ← ?
+            self.side.set_status(env, Status::Unknown);
+            self.wait_or_enter();
+        }
+    }
+}
+
+impl Stepper for MonitoringStepper {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        match self.state {
+            MonitoringState::Start => {
+                env.observe(
+                    OBS_STATUS,
+                    self.side.q.0 as u32,
+                    self.side.status.get().code(),
+                );
+                env.observe(
+                    OBS_FAULT,
+                    self.side.q.0 as u32,
+                    self.side.fault_cntr.get() as i64,
+                );
+                // 8: STATUS[q] ← ?
+                self.side.set_status(env, Status::Unknown);
+                self.wait_or_enter();
+            }
+            MonitoringState::WaitMon => self.wait_or_enter(),
+            MonitoringState::InnerBody => {
+                // 12: if hbTimer ≥ 1 then hbTimer ← hbTimer − 1
+                if self.hb_timer >= 1 {
+                    self.hb_timer -= 1;
+                }
+                // 13: if hbTimer = 0 then
+                if self.hb_timer == 0 {
+                    // 14: hbTimer ← hbTimeout
+                    self.hb_timer = self.hb_timeout;
+                    // 15: prevHbCounter ← hbCounter
+                    self.prev_hb_counter = self.hb_counter;
+                    // 16: READ(HbRegister[q, p]) — invocation step.
+                    let tok = self.side.hb.invoke_read(env);
+                    self.state = MonitoringState::ReadPending(tok);
+                } else {
+                    self.continue_or_leave(env);
+                }
+            }
+            MonitoringState::ReadPending(tok) => {
+                // 16: response step.
+                self.hb_counter = self.side.hb.complete_read(env, tok);
+                // 17: if hbCounter < 0 then STATUS[q] ← inactive
+                if self.hb_counter < 0 {
+                    self.side.set_status(env, Status::Inactive);
+                }
+                // 18–20: fresh heartbeat ⇒ active, re-arm increment
+                if self.hb_counter >= 0 && self.hb_counter > self.prev_hb_counter {
+                    self.side.set_status(env, Status::Active);
+                    self.allow_increment = true;
+                }
+                // 21–26: stale heartbeat ⇒ inactive; suspicion counts
+                if self.hb_counter >= 0 && self.hb_counter <= self.prev_hb_counter {
+                    self.side.set_status(env, Status::Inactive);
+                    if self.allow_increment {
+                        self.side.bump_fault(env);
+                        // 25 (ablatable): adapt the timeout upward.
+                        if self.side.adaptive_timeout {
+                            self.hb_timeout += 1;
+                        }
+                        self.allow_increment = false;
+                    }
+                }
+                self.continue_or_leave(env);
+            }
+        }
+        Control::Yield
     }
 }
 
@@ -285,6 +494,39 @@ mod tests {
             last_change < 6_000,
             "faultCntr still changing at t={last_change} (value {final_val})"
         );
+    }
+
+    #[test]
+    fn stepper_pair_matches_blocking_pair() {
+        // The same A(p, q) on both backends: identical steps, identical
+        // observation sequences (same register seeds via fresh default
+        // factories). Any divergence in tick positions would show up as
+        // shifted observation times.
+        let run = |stepper: bool| {
+            let factory = RegisterFactory::default();
+            let pair = activity_monitor(&factory, ProcId(0), ProcId(1));
+            pair.monitoring_side.monitoring.set(true);
+            pair.monitored_side.active_for.set(true);
+            let mut b = SimBuilder::new();
+            let p0 = b.add_process("p0");
+            let p1 = b.add_process("p1");
+            let ms = pair.monitoring_side;
+            let md = pair.monitored_side;
+            if stepper {
+                b.add_stepper(p0, "monitoring", Box::new(ms.into_stepper()));
+                b.add_stepper(p1, "monitored", Box::new(md.into_stepper()));
+            } else {
+                b.add_task(p0, "monitoring", move |env| ms.run(&env));
+                b.add_task(p1, "monitored", move |env| md.run(&env));
+            }
+            b.build().run(RunConfig::new(6_000, RoundRobin::new()))
+        };
+        let rs = run(true);
+        let rb = run(false);
+        rs.assert_no_panics();
+        rb.assert_no_panics();
+        assert_eq!(rs.trace.steps, rb.trace.steps);
+        assert_eq!(rs.trace.obs, rb.trace.obs);
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub mod fig2;
 pub mod mesh;
 pub mod props;
 
-pub use fig2::{activity_monitor, ActivityMonitorPair, MonitoredSide, MonitoringSide};
+pub use fig2::{
+    activity_monitor, ActivityMonitorPair, MonitoredSide, MonitoredStepper, MonitoringSide,
+    MonitoringStepper,
+};
 pub use mesh::{MonitorMesh, ProcessMonitorHandles};
 pub use props::{check_pair, CheckParams, PairRun, PropReport, PropVerdict};
 

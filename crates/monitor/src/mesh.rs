@@ -79,15 +79,15 @@ impl MonitorMesh {
                 let mut md = pair.monitored_side;
                 md.active_for = active_cell;
 
-                spawner.spawn_task(
+                spawner.spawn_stepper(
                     ProcId(p),
                     &format!("mon[{p}->{q}]"),
-                    Box::new(move |env| ms.run(env)),
+                    Box::new(ms.into_stepper()),
                 );
-                spawner.spawn_task(
+                spawner.spawn_stepper(
                     ProcId(q),
                     &format!("hb[{q}->{p}]"),
-                    Box::new(move |env| md.run(env)),
+                    Box::new(md.into_stepper()),
                 );
             }
         }

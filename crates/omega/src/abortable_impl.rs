@@ -28,8 +28,8 @@
 
 use crate::{set_leader, OmegaHandles};
 use std::collections::BTreeSet;
-use tbwf_registers::{ReadOutcome, SharedAbortable};
-use tbwf_sim::{Env, ProcId, SimResult};
+use tbwf_registers::{OpToken, ReadOutcome, SharedAbortable};
+use tbwf_sim::{Control, Env, ProcId, SimResult, StepCtx, Stepper};
 
 /// A Figure 4/6 message: `⟨counter_p[p], actrTo_p[q]⟩`.
 pub type Msg = (i64, i64);
@@ -379,6 +379,361 @@ impl AbortableOmegaProcess {
                 }
             }
         }
+    }
+}
+
+impl AbortableOmegaProcess {
+    /// Converts into the poll-driven [`Stepper`] form of the same
+    /// algorithm (the step engine's native backend).
+    ///
+    /// One [`step`](Stepper::step) executes exactly the code between two
+    /// consecutive `tick` points of [`run`](AbortableOmegaProcess::run) —
+    /// including the per-peer ticks inside the Figure 4/5 channel
+    /// sub-routines — with register operations straddling step boundaries
+    /// (invoke at the end of one segment, complete at the start of the
+    /// next). Both forms produce identical traces under the same schedule.
+    pub fn into_stepper(self) -> AbortableOmegaStepper {
+        let n = self.n;
+        AbortableOmegaStepper {
+            leader: self.p,
+            counter: vec![0; n],
+            actr_to: vec![0; n],
+            write_done: vec![false; n],
+            msg_to: vec![(0, 0); n],
+            state: AbState::Start,
+            proc: self,
+        }
+    }
+}
+
+/// Where the Figure 4–6 control flow is parked between steps. `Body`
+/// variants name the per-peer segment the next step executes; `Pending`
+/// variants carry the token of an in-flight register operation.
+#[derive(Clone, Copy)]
+enum AbState {
+    /// Lines 41–43: top of the outer loop.
+    Start,
+    /// Line 43: waiting to become a candidate.
+    WaitCand,
+    /// Line 45 head tick consumed: start `SendHeartbeat` (line 46).
+    MainHead,
+    /// Figure 5, lines 22–25: the per-`q` body of `SendHeartbeat`.
+    SendBody { q: usize },
+    /// The `HbRegister1[p, q]` write is in flight.
+    SendHb1Pending { q: usize, tok: OpToken },
+    /// The `HbRegister2[p, q]` write is in flight.
+    SendHb2Pending { q: usize, tok: OpToken },
+    /// Figure 5, lines 28–39: the per-`q` body of `ReceiveHeartbeat`.
+    RecvBody { q: usize },
+    /// The `HbRegister1[q, p]` read is in flight.
+    RecvHb1Pending { q: usize, tok: OpToken },
+    /// The `HbRegister2[q, p]` read is in flight.
+    RecvHb2Pending { q: usize, tok: OpToken },
+    /// Figure 4, lines 3–6: the per-`q` body of `WriteMsgs`.
+    WriteBody { q: usize },
+    /// The `MsgRegister[p, q]` write is in flight.
+    WritePending { q: usize, tok: OpToken },
+    /// Figure 4, lines 10–18: the per-`q` body of `ReadMsgs`.
+    ReadBody { q: usize },
+    /// The `MsgRegister[q, p]` read is in flight.
+    ReadPending { q: usize, tok: OpToken },
+}
+
+/// Poll-driven form of [`AbortableOmegaProcess`]: the Figure 6 main loop
+/// (with the Figure 4/5 channel sub-routines inlined) as a [`Stepper`]
+/// state machine. Built with [`AbortableOmegaProcess::into_stepper`].
+pub struct AbortableOmegaStepper {
+    proc: AbortableOmegaProcess,
+    leader: ProcId,
+    counter: Vec<i64>,
+    actr_to: Vec<i64>,
+    write_done: Vec<bool>,
+    msg_to: Vec<Msg>,
+    state: AbState,
+}
+
+impl AbortableOmegaStepper {
+    /// The first peer `≥ from` (skipping `p`), if any.
+    fn next_other(&self, from: usize) -> Option<usize> {
+        (from..self.proc.n).find(|&q| q != self.proc.p.0)
+    }
+
+    /// Line 42, then fall through to the line-43 check.
+    fn outer_top(&mut self, env: &dyn Env) {
+        set_leader(env, &self.proc.handles.leader, None);
+        self.arm_or_wait(env);
+    }
+
+    /// Line 43; on candidacy, line 44 and entry into the line-45 loop.
+    fn arm_or_wait(&mut self, _env: &dyn Env) {
+        if !self.proc.handles.candidate.get() {
+            self.state = AbState::WaitCand;
+            return;
+        }
+        // 44: self-punishment beyond the current leader's counter.
+        let p = self.proc.p.0;
+        self.counter[p] = self.counter[p].max(self.counter[self.leader.0] + 1);
+        self.state = AbState::MainHead;
+    }
+
+    /// Advances the `SendHeartbeat` loop past peer `q`.
+    fn advance_send(&mut self, env: &dyn Env, q: usize) {
+        match self.next_other(q + 1) {
+            Some(q) => self.state = AbState::SendBody { q },
+            None => self.begin_receive(env),
+        }
+    }
+
+    /// Line 47: enter `ReceiveHeartbeat`.
+    fn begin_receive(&mut self, env: &dyn Env) {
+        match self.next_other(0) {
+            Some(q) => self.state = AbState::RecvBody { q },
+            None => self.finish_receive(env),
+        }
+    }
+
+    /// Advances the `ReceiveHeartbeat` loop past peer `q`.
+    fn advance_recv(&mut self, env: &dyn Env, q: usize) {
+        match self.next_other(q + 1) {
+            Some(q) => self.state = AbState::RecvBody { q },
+            None => self.finish_receive(env),
+        }
+    }
+
+    /// Lines 48–53, then entry into `WriteMsgs` (line 54).
+    fn finish_receive(&mut self, env: &dyn Env) {
+        let p = self.proc.p.0;
+        // 48: pick the active process with the smallest counter.
+        self.leader = *self
+            .proc
+            .hb
+            .active_set
+            .iter()
+            .min_by_key(|&&q| (self.counter[q.0], q))
+            .expect("activeSet always contains p");
+        // 49: LEADER ← leader
+        set_leader(env, &self.proc.handles.leader, Some(self.leader));
+        // 50–53: assemble messages, punishing inactive processes.
+        for q in 0..self.proc.n {
+            if q == p {
+                continue;
+            }
+            if !self.proc.hb.active_set.contains(&ProcId(q)) {
+                self.actr_to[q] = self.actr_to[q].max(self.counter[self.leader.0] + 1);
+            }
+            self.msg_to[q] = (self.counter[p], self.actr_to[q]);
+        }
+        match self.next_other(0) {
+            Some(q) => self.state = AbState::WriteBody { q },
+            None => self.finish_writes(env),
+        }
+    }
+
+    /// Advances the `WriteMsgs` loop past peer `q`.
+    fn advance_write(&mut self, env: &dyn Env, q: usize) {
+        match self.next_other(q + 1) {
+            Some(q) => self.state = AbState::WriteBody { q },
+            None => self.finish_writes(env),
+        }
+    }
+
+    /// Figure 4 line 7 / line 54, then entry into `ReadMsgs` (line 55).
+    fn finish_writes(&mut self, env: &dyn Env) {
+        self.write_done = self.proc.msgs.prev_write_done.clone();
+        match self.next_other(0) {
+            Some(q) => self.state = AbState::ReadBody { q },
+            None => self.finish_reads(env),
+        }
+    }
+
+    /// Advances the `ReadMsgs` loop past peer `q`.
+    fn advance_read(&mut self, env: &dyn Env, q: usize) {
+        match self.next_other(q + 1) {
+            Some(q) => self.state = AbState::ReadBody { q },
+            None => self.finish_reads(env),
+        }
+    }
+
+    /// Lines 56–58, then the line-59 re-check.
+    fn finish_reads(&mut self, env: &dyn Env) {
+        let p = self.proc.p.0;
+        for q in 0..self.proc.n {
+            if q == p {
+                continue;
+            }
+            let (cq, actr_from_q) = self.proc.msgs.prev_msg_from[q];
+            self.counter[q] = cq;
+            self.counter[p] = self.counter[p].max(actr_from_q);
+        }
+        // 59: while CANDIDATE = true
+        if self.proc.handles.candidate.get() {
+            self.state = AbState::MainHead;
+        } else {
+            self.outer_top(env);
+        }
+    }
+}
+
+impl Stepper for AbortableOmegaStepper {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        match self.state {
+            AbState::Start => self.outer_top(env),
+            AbState::WaitCand => self.arm_or_wait(env),
+            AbState::MainHead => {
+                // 46 / Figure 5 line 21: bump the heartbeat counter, then
+                // the first per-peer inspection step.
+                self.proc.hb.hb_send_counter += 1;
+                match self.next_other(0) {
+                    Some(q) => self.state = AbState::SendBody { q },
+                    None => self.begin_receive(env),
+                }
+            }
+            AbState::SendBody { q } => {
+                if self.write_done[q] {
+                    let hb = &self.proc.hb;
+                    let tok = hb.hb1_out[q]
+                        .as_ref()
+                        .expect("hb1 out register")
+                        .invoke_write(env, hb.hb_send_counter);
+                    self.state = AbState::SendHb1Pending { q, tok };
+                } else {
+                    self.advance_send(env, q);
+                }
+            }
+            AbState::SendHb1Pending { q, tok } => {
+                let hb = &self.proc.hb;
+                let _ = hb.hb1_out[q]
+                    .as_ref()
+                    .expect("hb1 out register")
+                    .complete_write(env, tok);
+                let tok = hb.hb2_out[q]
+                    .as_ref()
+                    .expect("hb2 out register")
+                    .invoke_write(env, hb.hb_send_counter);
+                self.state = AbState::SendHb2Pending { q, tok };
+            }
+            AbState::SendHb2Pending { q, tok } => {
+                let _ = self.proc.hb.hb2_out[q]
+                    .as_ref()
+                    .expect("hb2 out register")
+                    .complete_write(env, tok);
+                self.advance_send(env, q);
+            }
+            AbState::RecvBody { q } => {
+                let hb = &mut self.proc.hb;
+                // 28: if hbTimer[q] ≥ 1 then hbTimer[q] ← hbTimer[q] − 1
+                if hb.hb_timer[q] >= 1 {
+                    hb.hb_timer[q] -= 1;
+                }
+                // 29–34: sample both registers when the timer fires.
+                if hb.hb_timer[q] == 0 {
+                    hb.hb_timer[q] = hb.hb_timeout[q];
+                    hb.prev_hb1[q] = hb.hb1[q];
+                    hb.prev_hb2[q] = hb.hb2[q];
+                    let tok = hb.hb1_in[q]
+                        .as_ref()
+                        .expect("hb1 in register")
+                        .invoke_read(env);
+                    self.state = AbState::RecvHb1Pending { q, tok };
+                } else {
+                    self.advance_recv(env, q);
+                }
+            }
+            AbState::RecvHb1Pending { q, tok } => {
+                let hb = &mut self.proc.hb;
+                hb.hb1[q] = hb.hb1_in[q]
+                    .as_ref()
+                    .expect("hb1 in register")
+                    .complete_read(env, tok)
+                    .value();
+                let tok = hb.hb2_in[q]
+                    .as_ref()
+                    .expect("hb2 in register")
+                    .invoke_read(env);
+                self.state = AbState::RecvHb2Pending { q, tok };
+            }
+            AbState::RecvHb2Pending { q, tok } => {
+                let hb = &mut self.proc.hb;
+                hb.hb2[q] = hb.hb2_in[q]
+                    .as_ref()
+                    .expect("hb2 in register")
+                    .complete_read(env, tok)
+                    .value();
+                // 35: fresh-or-aborted on BOTH registers ⇒ active.
+                let fresh1 = hb.hb1[q].is_none() || hb.hb1[q] != hb.prev_hb1[q];
+                let fresh2 = hb.hb2[q].is_none() || hb.hb2[q] != hb.prev_hb2[q];
+                if fresh1 && fresh2 {
+                    hb.active_set.insert(ProcId(q));
+                } else {
+                    hb.active_set.remove(&ProcId(q));
+                    hb.hb_timeout[q] += 1;
+                }
+                self.advance_recv(env, q);
+            }
+            AbState::WriteBody { q } => {
+                let msgs = &mut self.proc.msgs;
+                // 3: if (not prevWriteDone[q]) or msgCurr[q] ≠ msgTo[q]
+                if !msgs.prev_write_done[q] || msgs.msg_curr[q] != self.msg_to[q] {
+                    if msgs.prev_write_done[q] {
+                        msgs.msg_curr[q] = self.msg_to[q];
+                    }
+                    let tok = msgs.out[q]
+                        .as_ref()
+                        .expect("out register for peer")
+                        .invoke_write(env, msgs.msg_curr[q]);
+                    self.state = AbState::WritePending { q, tok };
+                } else {
+                    self.advance_write(env, q);
+                }
+            }
+            AbState::WritePending { q, tok } => {
+                let msgs = &mut self.proc.msgs;
+                let res = msgs.out[q]
+                    .as_ref()
+                    .expect("out register for peer")
+                    .complete_write(env, tok);
+                msgs.prev_write_done[q] = res.is_ok();
+                self.advance_write(env, q);
+            }
+            AbState::ReadBody { q } => {
+                let msgs = &mut self.proc.msgs;
+                // 10: if readTimer[q] ≥ 1 then readTimer[q] ← readTimer[q] − 1
+                if msgs.read_timer[q] >= 1 {
+                    msgs.read_timer[q] -= 1;
+                }
+                // 11–13: read when the timer fires.
+                if msgs.read_timer[q] == 0 {
+                    msgs.read_timer[q] = msgs.read_timeout[q];
+                    let tok = msgs.inn[q]
+                        .as_ref()
+                        .expect("in register for peer")
+                        .invoke_read(env);
+                    self.state = AbState::ReadPending { q, tok };
+                } else {
+                    self.advance_read(env, q);
+                }
+            }
+            AbState::ReadPending { q, tok } => {
+                let msgs = &mut self.proc.msgs;
+                let res = msgs.inn[q]
+                    .as_ref()
+                    .expect("in register for peer")
+                    .complete_read(env, tok);
+                match res {
+                    ReadOutcome::Aborted => msgs.read_timeout[q] += 1,
+                    ReadOutcome::Value(v) if v == msgs.prev_msg_from[q] => {
+                        msgs.read_timeout[q] += 1;
+                    }
+                    ReadOutcome::Value(v) => {
+                        msgs.prev_msg_from[q] = v;
+                        msgs.read_timeout[q] = 1;
+                    }
+                }
+                self.advance_read(env, q);
+            }
+        }
+        Control::Yield
     }
 }
 

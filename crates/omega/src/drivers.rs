@@ -3,7 +3,7 @@
 //! canonical use of Definition 6.
 
 use crate::{OmegaHandles, OBS_CANDIDATE};
-use tbwf_sim::{Env, ProcId, SimBuilder};
+use tbwf_sim::{Control, Env, Local, ProcId, StepCtx, Stepper, TaskSpawner};
 
 /// A scripted candidacy pattern for one process.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,50 +47,134 @@ impl CandidateScript {
     }
 }
 
+/// Records `candidate ← v` into the trace on change.
+fn set_candidate(env: &dyn Env, candidate: &Local<bool>, v: bool) {
+    if candidate.get() != v {
+        candidate.set(v);
+        env.observe(OBS_CANDIDATE, 0, v as i64);
+    }
+}
+
+/// Poll-driven driver for the stateless scripts: every step sets
+/// `candidate` to the value the script wants at the current time.
+struct ScriptedDriver {
+    script: CandidateScript,
+    candidate: Local<bool>,
+    started: bool,
+}
+
+impl Stepper for ScriptedDriver {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        if !self.started {
+            self.started = true;
+            env.observe(OBS_CANDIDATE, 0, self.candidate.get() as i64);
+        }
+        if let Some(v) = self.script.desired(env.now()) {
+            set_candidate(env, &self.candidate, v);
+        }
+        Control::Yield
+    }
+}
+
+/// Which part of the canonical cycle the driver is in.
+enum BlinkPhase {
+    /// Candidate; `rem` on-steps left.
+    On,
+    /// Not a candidate; `rem` off-steps left.
+    Off,
+    /// Definition 6 gate: waiting until `leader ≠ p`.
+    Gate,
+}
+
+/// Poll-driven driver for [`CandidateScript::CanonicalBlink`]
+/// (Definition 6): on-phase, off-phase, then wait out own leadership.
+struct CanonicalBlinkDriver {
+    pid: ProcId,
+    on: u64,
+    off: u64,
+    candidate: Local<bool>,
+    leader: Local<Option<ProcId>>,
+    started: bool,
+    phase: BlinkPhase,
+    rem: u64,
+}
+
+impl Stepper for CanonicalBlinkDriver {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        if !self.started {
+            self.started = true;
+            env.observe(OBS_CANDIDATE, 0, self.candidate.get() as i64);
+            set_candidate(env, &self.candidate, true);
+            self.phase = BlinkPhase::On;
+            self.rem = self.on;
+        }
+        // Consume exactly one step, running any zero-length phase
+        // transitions first (a phase of length 0 falls through without
+        // spending a step, exactly like the blocking `for _ in 0..0`).
+        loop {
+            match self.phase {
+                BlinkPhase::On => {
+                    if self.rem > 0 {
+                        self.rem -= 1;
+                        return Control::Yield;
+                    }
+                    set_candidate(env, &self.candidate, false);
+                    self.phase = BlinkPhase::Off;
+                    self.rem = self.off;
+                }
+                BlinkPhase::Off => {
+                    if self.rem > 0 {
+                        self.rem -= 1;
+                        return Control::Yield;
+                    }
+                    self.phase = BlinkPhase::Gate;
+                }
+                BlinkPhase::Gate => {
+                    if self.leader.get() == Some(self.pid) {
+                        return Control::Yield;
+                    }
+                    set_candidate(env, &self.candidate, true);
+                    self.phase = BlinkPhase::On;
+                    self.rem = self.on;
+                }
+            }
+        }
+    }
+}
+
 /// Adds a driver task for process `pid` that follows `script`, observing
 /// every change of `candidate_p` into the trace.
+///
+/// The driver is a [`Stepper`]; on the simulator it runs on the poll
+/// backend, on other spawners through the blocking adapter.
 pub fn add_candidate_driver(
-    builder: &mut SimBuilder,
+    spawner: &mut dyn TaskSpawner,
     pid: ProcId,
     handles: &OmegaHandles,
     script: CandidateScript,
 ) {
     let candidate = handles.candidate.clone();
     let leader = handles.leader.clone();
-    builder.add_task(pid, "candidacy", move |env| {
-        let set = |env: &dyn Env, v: bool| {
-            if candidate.get() != v {
-                candidate.set(v);
-                env.observe(OBS_CANDIDATE, 0, v as i64);
-            }
-        };
-        env.observe(OBS_CANDIDATE, 0, candidate.get() as i64);
-        match script {
-            CandidateScript::CanonicalBlink { on, off } => loop {
-                // Compete for `on` of our own steps.
-                set(&env, true);
-                for _ in 0..on {
-                    env.tick()?;
-                }
-                // Leave the competition…
-                set(&env, false);
-                for _ in 0..off {
-                    env.tick()?;
-                }
-                // …and (Definition 6) wait until we are not the leader
-                // before competing again.
-                while leader.get() == Some(pid) {
-                    env.tick()?;
-                }
-            },
-            script => loop {
-                if let Some(v) = script.desired(env.now()) {
-                    set(&env, v);
-                }
-                env.tick()?;
-            },
-        }
-    });
+    let stepper: Box<dyn Stepper> = match script {
+        CandidateScript::CanonicalBlink { on, off } => Box::new(CanonicalBlinkDriver {
+            pid,
+            on,
+            off,
+            candidate,
+            leader,
+            started: false,
+            phase: BlinkPhase::Gate,
+            rem: 0,
+        }),
+        script => Box::new(ScriptedDriver {
+            script,
+            candidate,
+            started: false,
+        }),
+    };
+    spawner.spawn_stepper(pid, "candidacy", stepper);
 }
 
 #[cfg(test)]

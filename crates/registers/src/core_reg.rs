@@ -4,7 +4,7 @@
 use crate::outcome::{ReadOutcome, WriteOutcome};
 use crate::policy::{AbortPolicy, EffectPolicy};
 use crate::stats::{OpEvent, OpKind, OpLog};
-use crate::{AbortableRegister, AtomicRegister, SafeRegister};
+use crate::{AbortableRegister, AtomicRegister, OpToken, SafeRegister};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -12,18 +12,22 @@ use std::sync::Arc;
 use tbwf_sim::{Env, ProcId, SimResult};
 
 /// An operation in flight between its invocation and response steps.
-struct Inflight {
+struct Inflight<T> {
     id: u64,
     kind: OpKind,
     /// Set as soon as any other operation's interval overlaps this one.
     overlapped: bool,
     /// Whether the overlap involved a write (needed by safe registers).
     overlapped_write: bool,
+    /// Time of the invocation step (for the operation log).
+    invoked: u64,
+    /// A write's value, captured at invocation.
+    payload: Option<T>,
 }
 
 struct CoreState<T> {
     value: T,
-    inflight: Vec<Inflight>,
+    inflight: Vec<Inflight<T>>,
     next_id: u64,
     rng: StdRng,
 }
@@ -36,12 +40,16 @@ pub(crate) struct RegCore<T> {
 }
 
 /// What the core reports when an operation resolves.
-struct Resolution {
+struct Resolution<T> {
     overlapped: bool,
     overlapped_write: bool,
     /// Uniform samples for the abort and effect decisions.
     u_abort: f64,
     u_effect: f64,
+    /// Invocation time, echoed back from `begin`.
+    invoked: u64,
+    /// The write payload captured at invocation, if any.
+    payload: Option<T>,
 }
 
 impl<T: Clone + Send> RegCore<T> {
@@ -59,7 +67,7 @@ impl<T: Clone + Send> RegCore<T> {
     }
 
     /// Invocation step: register the in-flight op and mark overlaps.
-    fn begin(&self, kind: OpKind) -> u64 {
+    fn begin(&self, kind: OpKind, invoked: u64, payload: Option<T>) -> u64 {
         let mut st = self.state.lock();
         let id = st.next_id;
         st.next_id += 1;
@@ -74,12 +82,14 @@ impl<T: Clone + Send> RegCore<T> {
             kind,
             overlapped: any,
             overlapped_write: any_write,
+            invoked,
+            payload,
         });
         id
     }
 
     /// Response step: remove the in-flight op and sample the adversary.
-    fn resolve(&self, id: u64) -> Resolution {
+    fn resolve(&self, id: u64) -> Resolution<T> {
         let mut st = self.state.lock();
         let pos = st
             .inflight
@@ -94,6 +104,8 @@ impl<T: Clone + Send> RegCore<T> {
             overlapped_write: op.overlapped_write,
             u_abort,
             u_effect,
+            invoked: op.invoked,
+            payload: op.payload,
         }
     }
 
@@ -102,7 +114,7 @@ impl<T: Clone + Send> RegCore<T> {
         env: &dyn Env,
         invoked: u64,
         kind: OpKind,
-        res: &Resolution,
+        res: &Resolution<T>,
         aborted: bool,
         effect: bool,
     ) {
@@ -133,26 +145,28 @@ impl<T: Clone + Send> SimAtomicReg<T> {
 }
 
 impl<T: Clone + Send + Sync> AtomicRegister<T> for SimAtomicReg<T> {
-    fn write(&self, env: &dyn Env, v: T) -> SimResult<()> {
-        let invoked = env.now();
-        let id = self.core.begin(OpKind::Write);
-        env.tick()?;
-        let res = self.core.resolve(id);
-        self.core.state.lock().value = v;
-        self.core
-            .record(env, invoked, OpKind::Write, &res, false, true);
-        Ok(())
+    fn invoke_write(&self, env: &dyn Env, v: T) -> OpToken {
+        OpToken::new(self.core.begin(OpKind::Write, env.now(), Some(v)))
     }
 
-    fn read(&self, env: &dyn Env) -> SimResult<T> {
-        let invoked = env.now();
-        let id = self.core.begin(OpKind::Read);
-        env.tick()?;
-        let res = self.core.resolve(id);
+    fn complete_write(&self, env: &dyn Env, tok: OpToken) {
+        let res = self.core.resolve(tok.raw());
+        let v = res.payload.clone().expect("write resolved without payload");
+        self.core.state.lock().value = v;
+        self.core
+            .record(env, res.invoked, OpKind::Write, &res, false, true);
+    }
+
+    fn invoke_read(&self, env: &dyn Env) -> OpToken {
+        OpToken::new(self.core.begin(OpKind::Read, env.now(), None))
+    }
+
+    fn complete_read(&self, env: &dyn Env, tok: OpToken) -> T {
+        let res = self.core.resolve(tok.raw());
         let v = self.core.state.lock().value.clone();
         self.core
-            .record(env, invoked, OpKind::Read, &res, false, false);
-        Ok(v)
+            .record(env, res.invoked, OpKind::Read, &res, false, false);
+        v
     }
 }
 
@@ -190,7 +204,7 @@ impl<T: Clone + Send> SimAbortableReg<T> {
 }
 
 impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
-    fn write(&self, env: &dyn Env, v: T) -> SimResult<WriteOutcome> {
+    fn invoke_write(&self, env: &dyn Env, v: T) -> OpToken {
         if let Some(w) = self.writer {
             assert_eq!(
                 env.pid(),
@@ -199,27 +213,29 @@ impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
                 self.core.name
             );
         }
-        let invoked = env.now();
-        let id = self.core.begin(OpKind::Write);
-        env.tick()?;
-        let res = self.core.resolve(id);
+        OpToken::new(self.core.begin(OpKind::Write, env.now(), Some(v)))
+    }
+
+    fn complete_write(&self, env: &dyn Env, tok: OpToken) -> WriteOutcome {
+        let res = self.core.resolve(tok.raw());
+        let v = res.payload.clone().expect("write resolved without payload");
         if res.overlapped && self.abort_policy.aborts(res.u_abort) {
             let effect = self.effect_policy.takes_effect(res.u_effect);
             if effect {
                 self.core.state.lock().value = v;
             }
             self.core
-                .record(env, invoked, OpKind::Write, &res, true, effect);
-            Ok(WriteOutcome::Aborted)
+                .record(env, res.invoked, OpKind::Write, &res, true, effect);
+            WriteOutcome::Aborted
         } else {
             self.core.state.lock().value = v;
             self.core
-                .record(env, invoked, OpKind::Write, &res, false, true);
-            Ok(WriteOutcome::Ok)
+                .record(env, res.invoked, OpKind::Write, &res, false, true);
+            WriteOutcome::Ok
         }
     }
 
-    fn read(&self, env: &dyn Env) -> SimResult<ReadOutcome<T>> {
+    fn invoke_read(&self, env: &dyn Env) -> OpToken {
         if let Some(r) = self.reader {
             assert_eq!(
                 env.pid(),
@@ -228,19 +244,20 @@ impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
                 self.core.name
             );
         }
-        let invoked = env.now();
-        let id = self.core.begin(OpKind::Read);
-        env.tick()?;
-        let res = self.core.resolve(id);
+        OpToken::new(self.core.begin(OpKind::Read, env.now(), None))
+    }
+
+    fn complete_read(&self, env: &dyn Env, tok: OpToken) -> ReadOutcome<T> {
+        let res = self.core.resolve(tok.raw());
         if res.overlapped && self.abort_policy.aborts(res.u_abort) {
             self.core
-                .record(env, invoked, OpKind::Read, &res, true, false);
-            Ok(ReadOutcome::Aborted)
+                .record(env, res.invoked, OpKind::Read, &res, true, false);
+            ReadOutcome::Aborted
         } else {
             let v = self.core.state.lock().value.clone();
             self.core
-                .record(env, invoked, OpKind::Read, &res, false, false);
-            Ok(ReadOutcome::Value(v))
+                .record(env, res.invoked, OpKind::Read, &res, false, false);
+            ReadOutcome::Value(v)
         }
     }
 }
@@ -261,7 +278,7 @@ impl SimSafeReg {
 impl SafeRegister for SimSafeReg {
     fn write(&self, env: &dyn Env, v: u64) -> SimResult<()> {
         let invoked = env.now();
-        let id = self.core.begin(OpKind::Write);
+        let id = self.core.begin(OpKind::Write, invoked, None);
         env.tick()?;
         let res = self.core.resolve(id);
         self.core.state.lock().value = v;
@@ -272,7 +289,7 @@ impl SafeRegister for SimSafeReg {
 
     fn read(&self, env: &dyn Env) -> SimResult<u64> {
         let invoked = env.now();
-        let id = self.core.begin(OpKind::Read);
+        let id = self.core.begin(OpKind::Read, invoked, None);
         env.tick()?;
         let res = self.core.resolve(id);
         let v = if res.overlapped_write {
@@ -326,8 +343,8 @@ mod tests {
     #[test]
     fn overlap_detection_marks_both_ops() {
         let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log());
-        let a = r.begin(OpKind::Read);
-        let b = r.begin(OpKind::Write);
+        let a = r.begin(OpKind::Read, 0, None);
+        let b = r.begin(OpKind::Write, 0, Some(1));
         let ra = r.resolve(a);
         let rb = r.resolve(b);
         assert!(ra.overlapped);
@@ -339,9 +356,9 @@ mod tests {
     #[test]
     fn sequential_ops_do_not_overlap() {
         let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log());
-        let a = r.begin(OpKind::Read);
+        let a = r.begin(OpKind::Read, 0, None);
         let ra = r.resolve(a);
-        let b = r.begin(OpKind::Write);
+        let b = r.begin(OpKind::Write, 1, Some(1));
         let rb = r.resolve(b);
         assert!(!ra.overlapped);
         assert!(!rb.overlapped);

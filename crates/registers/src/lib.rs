@@ -58,22 +58,72 @@ pub use stats::{OpEvent, OpKind, OpLog};
 use std::sync::Arc;
 use tbwf_sim::{Env, SimResult};
 
+/// Opaque handle to one register operation between its invocation and its
+/// response step.
+///
+/// Returned by the `invoke_*` methods; passed to the matching `complete_*`
+/// method exactly once, on a *later* step of the same task (in stepper
+/// code: invoke at the end of one segment, complete at the start of the
+/// next). Completing a token twice, or a token from a different register,
+/// panics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpToken(u64);
+
+impl OpToken {
+    /// Wraps a raw operation id (for register implementors).
+    pub fn new(raw: u64) -> Self {
+        OpToken(raw)
+    }
+
+    /// The raw operation id (for register implementors).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// A multi-writer multi-reader atomic register.
 ///
-/// Operations never abort; each costs two steps (invoke + response) on the
-/// simulated backend.
+/// Operations never abort; each costs two steps (invoke + response).
+///
+/// The required methods are the two-phase (poll) form used by stepper
+/// code; a write value is captured at invocation. The blocking `write`/
+/// `read` are *derived*: invoke, consume one step with [`Env::tick`],
+/// complete. Because the derivation is the only difference between the
+/// two forms, an algorithm using either form performs its register steps
+/// at identical times.
 pub trait AtomicRegister<T: Clone>: Send + Sync {
-    /// Writes `v`; linearizes at the response step.
-    ///
-    /// # Errors
-    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
-    fn write(&self, env: &dyn Env, v: T) -> SimResult<()>;
+    /// Invocation step of a write of `v` (the value is captured now).
+    fn invoke_write(&self, env: &dyn Env, v: T) -> OpToken;
 
-    /// Reads the current value.
+    /// Response step of a write; linearization point.
+    fn complete_write(&self, env: &dyn Env, tok: OpToken);
+
+    /// Invocation step of a read.
+    fn invoke_read(&self, env: &dyn Env) -> OpToken;
+
+    /// Response step of a read; returns the value read.
+    fn complete_read(&self, env: &dyn Env, tok: OpToken) -> T;
+
+    /// Writes `v`; linearizes at the response step (blocking form).
     ///
     /// # Errors
     /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
-    fn read(&self, env: &dyn Env) -> SimResult<T>;
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<()> {
+        let tok = self.invoke_write(env, v);
+        env.tick()?;
+        self.complete_write(env, tok);
+        Ok(())
+    }
+
+    /// Reads the current value (blocking form).
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn read(&self, env: &dyn Env) -> SimResult<T> {
+        let tok = self.invoke_read(env);
+        env.tick()?;
+        Ok(self.complete_read(env, tok))
+    }
 }
 
 /// An abortable register (\[2\]; Section 1.2 of the paper).
@@ -82,18 +132,42 @@ pub trait AtomicRegister<T: Clone>: Send + Sync {
 /// register **may** return `⊥` ([`WriteOutcome::Aborted`] /
 /// [`ReadOutcome::Aborted`]); an aborted write may or may not have taken
 /// effect. An operation concurrent with nothing never aborts.
+///
+/// As with [`AtomicRegister`], the required methods are the two-phase
+/// (poll) form and the blocking forms are derived from them, so both
+/// forms take steps at identical times.
 pub trait AbortableRegister<T: Clone>: Send + Sync {
-    /// Attempts to write `v`.
-    ///
-    /// # Errors
-    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
-    fn write(&self, env: &dyn Env, v: T) -> SimResult<WriteOutcome>;
+    /// Invocation step of a write of `v` (the value is captured now).
+    fn invoke_write(&self, env: &dyn Env, v: T) -> OpToken;
 
-    /// Attempts to read.
+    /// Response step of a write; reports whether it aborted.
+    fn complete_write(&self, env: &dyn Env, tok: OpToken) -> WriteOutcome;
+
+    /// Invocation step of a read.
+    fn invoke_read(&self, env: &dyn Env) -> OpToken;
+
+    /// Response step of a read; aborted reads return no value.
+    fn complete_read(&self, env: &dyn Env, tok: OpToken) -> ReadOutcome<T>;
+
+    /// Attempts to write `v` (blocking form).
     ///
     /// # Errors
     /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
-    fn read(&self, env: &dyn Env) -> SimResult<ReadOutcome<T>>;
+    fn write(&self, env: &dyn Env, v: T) -> SimResult<WriteOutcome> {
+        let tok = self.invoke_write(env, v);
+        env.tick()?;
+        Ok(self.complete_write(env, tok))
+    }
+
+    /// Attempts to read (blocking form).
+    ///
+    /// # Errors
+    /// Propagates [`Halted`](tbwf_sim::Halted) at the end of a run.
+    fn read(&self, env: &dyn Env) -> SimResult<ReadOutcome<T>> {
+        let tok = self.invoke_read(env);
+        env.tick()?;
+        Ok(self.complete_read(env, tok))
+    }
 }
 
 /// A safe register holding `u64` values.

@@ -11,11 +11,45 @@
 //! never abort.
 
 use crate::outcome::{ReadOutcome, WriteOutcome};
-use crate::{AbortableRegister, AtomicRegister};
+use crate::{AbortableRegister, AtomicRegister, OpToken};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use tbwf_sim::{Env, Halted, ProcId, SimResult};
+
+/// Keyed stash for write payloads between `invoke_write` and
+/// `complete_write` (native registers have no in-flight bookkeeping of
+/// their own, unlike the simulated core).
+struct PayloadStash<T> {
+    next_tok: AtomicU64,
+    pending: Mutex<Vec<(u64, T)>>,
+}
+
+impl<T> PayloadStash<T> {
+    fn new() -> Self {
+        PayloadStash {
+            next_tok: AtomicU64::new(0),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn put(&self, v: Option<T>) -> OpToken {
+        let tok = self.next_tok.fetch_add(1, Ordering::Relaxed);
+        if let Some(v) = v {
+            self.pending.lock().push((tok, v));
+        }
+        OpToken::new(tok)
+    }
+
+    fn take(&self, tok: OpToken) -> T {
+        let mut pending = self.pending.lock();
+        let pos = pending
+            .iter()
+            .position(|(t, _)| *t == tok.raw())
+            .expect("completing unknown or already-completed write");
+        pending.remove(pos).1
+    }
+}
 
 /// Environment for algorithm code running on real threads.
 ///
@@ -85,6 +119,7 @@ impl Env for NativeEnv {
 /// Native atomic register: a mutex-protected value.
 pub struct NativeAtomicReg<T> {
     value: Mutex<T>,
+    stash: PayloadStash<T>,
 }
 
 impl<T: Clone + Send> NativeAtomicReg<T> {
@@ -92,20 +127,26 @@ impl<T: Clone + Send> NativeAtomicReg<T> {
     pub fn new(init: T) -> Self {
         NativeAtomicReg {
             value: Mutex::new(init),
+            stash: PayloadStash::new(),
         }
     }
 }
 
 impl<T: Clone + Send + Sync> AtomicRegister<T> for NativeAtomicReg<T> {
-    fn write(&self, env: &dyn Env, v: T) -> SimResult<()> {
-        env.tick()?;
-        *self.value.lock() = v;
-        Ok(())
+    fn invoke_write(&self, _env: &dyn Env, v: T) -> OpToken {
+        self.stash.put(Some(v))
     }
 
-    fn read(&self, env: &dyn Env) -> SimResult<T> {
-        env.tick()?;
-        Ok(self.value.lock().clone())
+    fn complete_write(&self, _env: &dyn Env, tok: OpToken) {
+        *self.value.lock() = self.stash.take(tok);
+    }
+
+    fn invoke_read(&self, _env: &dyn Env) -> OpToken {
+        self.stash.put(None)
+    }
+
+    fn complete_read(&self, _env: &dyn Env, _tok: OpToken) -> T {
+        self.value.lock().clone()
     }
 }
 
@@ -121,6 +162,7 @@ impl<T: Clone + Send + Sync> AtomicRegister<T> for NativeAtomicReg<T> {
 pub struct NativeAbortableReg<T> {
     version: AtomicU64,
     value: Mutex<T>,
+    stash: PayloadStash<T>,
 }
 
 impl<T: Clone + Send> NativeAbortableReg<T> {
@@ -129,32 +171,40 @@ impl<T: Clone + Send> NativeAbortableReg<T> {
         NativeAbortableReg {
             version: AtomicU64::new(0),
             value: Mutex::new(init),
+            stash: PayloadStash::new(),
         }
     }
 }
 
 impl<T: Clone + Send + Sync> AbortableRegister<T> for NativeAbortableReg<T> {
-    fn write(&self, env: &dyn Env, v: T) -> SimResult<WriteOutcome> {
-        env.tick()?;
+    fn invoke_write(&self, _env: &dyn Env, v: T) -> OpToken {
+        self.stash.put(Some(v))
+    }
+
+    fn complete_write(&self, _env: &dyn Env, tok: OpToken) -> WriteOutcome {
+        let v = self.stash.take(tok);
         match self.value.try_lock() {
             Some(mut guard) => {
                 self.version.fetch_add(1, Ordering::AcqRel); // odd: in flight
                 *guard = v;
                 self.version.fetch_add(1, Ordering::AcqRel); // even: done
-                Ok(WriteOutcome::Ok)
+                WriteOutcome::Ok
             }
-            None => Ok(WriteOutcome::Aborted),
+            None => WriteOutcome::Aborted,
         }
     }
 
-    fn read(&self, env: &dyn Env) -> SimResult<ReadOutcome<T>> {
-        env.tick()?;
+    fn invoke_read(&self, _env: &dyn Env) -> OpToken {
+        self.stash.put(None)
+    }
+
+    fn complete_read(&self, _env: &dyn Env, _tok: OpToken) -> ReadOutcome<T> {
         if self.version.load(Ordering::Acquire) % 2 == 1 {
-            return Ok(ReadOutcome::Aborted);
+            return ReadOutcome::Aborted;
         }
         match self.value.try_lock() {
-            Some(guard) => Ok(ReadOutcome::Value(guard.clone())),
-            None => Ok(ReadOutcome::Aborted),
+            Some(guard) => ReadOutcome::Value(guard.clone()),
+            None => ReadOutcome::Aborted,
         }
     }
 }

@@ -3,7 +3,7 @@
 use crate::gate::Gate;
 use crate::halt::SimResult;
 use crate::ids::{ProcId, TaskId};
-use crate::trace::TraceSink;
+use crate::trace::{ObsBuf, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -48,7 +48,7 @@ pub struct TaskEnv {
     pub(crate) tid: TaskId,
     pub(crate) gate: Arc<Gate>,
     pub(crate) clock: Arc<AtomicU64>,
-    pub(crate) sink: Arc<TraceSink>,
+    pub(crate) obs: ObsBuf,
 }
 
 impl Env for TaskEnv {
@@ -65,7 +65,7 @@ impl Env for TaskEnv {
     }
 
     fn observe(&self, key: &'static str, idx: u32, value: i64) {
-        self.sink.record(self.now(), self.tid.proc, key, idx, value);
+        self.obs.record(self.now(), self.tid.proc, key, idx, value);
     }
 }
 

@@ -18,10 +18,29 @@
 //!   from which *timeliness* (Definitions 1 and 2 of the paper) is
 //!   *measured*, never assumed.
 //!
-//! Tasks are written as ordinary blocking Rust closures. Each task runs on
-//! its own OS thread, but a rendezvous turnstile admits exactly
-//! one step at a time, so a run is a deterministic function of
-//! `(program, schedule, seed)`.
+//! # The step engine
+//!
+//! Tasks run on one of two interchangeable backends:
+//!
+//! * **Steppers** (the fast path): a task is an explicit state machine
+//!   implementing [`Stepper`]; the scheduler *polls* it by calling
+//!   [`Stepper::step`] directly. Granting a step is a plain function
+//!   call — no threads, no locks, no condvar traffic.
+//! * **Blocking closures** (the compatibility path): a task is an
+//!   ordinary blocking Rust closure consuming steps via [`Env::tick`].
+//!   Each such task runs on its own OS thread behind a rendezvous gate
+//!   that admits exactly one step at a time.
+//!
+//! Both kinds coexist within one run (even within one process) and are
+//! step-for-step equivalent: one `step()` call runs exactly the code a
+//! blocking task would run between two consecutive `tick`s, and
+//! [`Control::Yield`] consumes the step exactly where the `tick` would.
+//! Since blocking register operations are derived from their
+//! invoke/complete pairs (see `tbwf-registers`), the step positions of an
+//! algorithm agree on both backends by construction, and every run is a
+//! deterministic function of `(program, schedule, seed)` regardless of
+//! which backend hosts which task. The [`step`] module documents the
+//! contract in detail.
 //!
 //! # Example
 //!
@@ -55,6 +74,7 @@ mod local;
 mod runner;
 pub mod schedule;
 mod spawner;
+pub mod step;
 pub mod timeliness;
 pub mod trace;
 
@@ -64,5 +84,6 @@ pub use ids::{ProcId, TaskId};
 pub use local::{Local, LocalVec};
 pub use runner::{ProcReport, RunConfig, RunReport, Sim, SimBuilder, TaskOutcome};
 pub use schedule::{Schedule, ScheduleView};
-pub use spawner::{TaskBody, TaskSpawner};
+pub use spawner::{stepper_as_blocking_task, TaskBody, TaskSpawner};
+pub use step::{Control, StepCtx, Stepper};
 pub use trace::{Obs, Trace};

@@ -5,7 +5,8 @@ use crate::gate::{Gate, Grant};
 use crate::halt::SimResult;
 use crate::ids::{ProcId, TaskId};
 use crate::schedule::{Schedule, ScheduleView};
-use crate::trace::{Trace, TraceSink};
+use crate::step::{Control, StepCtx, StepEnv, Stepper};
+use crate::trace::{ObsBuf, Trace};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -13,9 +14,14 @@ use std::thread::JoinHandle;
 
 type TaskBody = Box<dyn FnOnce(TaskEnv) -> SimResult<()> + Send + 'static>;
 
+enum TaskSpecKind {
+    Thread(TaskBody),
+    Stepper(Box<dyn Stepper>),
+}
+
 struct TaskSpec {
     name: String,
-    body: TaskBody,
+    kind: TaskSpecKind,
 }
 
 struct ProcSpec {
@@ -62,7 +68,24 @@ impl SimBuilder {
     {
         self.procs[pid.0].tasks.push(TaskSpec {
             name: name.to_string(),
-            body: Box::new(body),
+            kind: TaskSpecKind::Thread(Box::new(body)),
+        });
+    }
+
+    /// Adds a poll-driven task to process `pid`.
+    ///
+    /// The stepper is driven by direct [`Stepper::step`] calls from the
+    /// scheduler — no thread is spawned for it. Stepper and thread-backed
+    /// tasks coexist freely within one process; see the
+    /// [`step`](crate::step) module for the equivalence contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` was not returned by [`SimBuilder::add_process`].
+    pub fn add_stepper(&mut self, pid: ProcId, name: &str, stepper: Box<dyn Stepper>) {
+        self.procs[pid.0].tasks.push(TaskSpec {
+            name: name.to_string(),
+            kind: TaskSpecKind::Stepper(stepper),
         });
     }
 
@@ -78,48 +101,65 @@ impl SimBuilder {
     /// Panics if any process has no tasks.
     pub fn build(self) -> Sim {
         let clock = Arc::new(AtomicU64::new(0));
-        let sink = Arc::new(TraceSink::new());
+        let obs_seq = Arc::new(AtomicU64::new(0));
         let mut procs = Vec::with_capacity(self.procs.len());
         for (pi, spec) in self.procs.into_iter().enumerate() {
             assert!(!spec.tasks.is_empty(), "process {} has no tasks", spec.name);
             let mut tasks = Vec::with_capacity(spec.tasks.len());
             for (ti, t) in spec.tasks.into_iter().enumerate() {
-                let gate = Arc::new(Gate::new());
-                let tid = TaskId {
-                    proc: ProcId(pi),
-                    index: ti,
-                };
-                let env = TaskEnv {
-                    tid,
-                    gate: Arc::clone(&gate),
-                    clock: Arc::clone(&clock),
-                    sink: Arc::clone(&sink),
-                };
-                let g2 = Arc::clone(&gate);
-                let body = t.body;
-                let thread_name = format!("{}-{}", spec.name, t.name);
-                let handle = std::thread::Builder::new()
-                    .name(thread_name)
-                    .stack_size(256 * 1024)
-                    .spawn(move || {
-                        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                            if g2.wait_for_go().is_err() {
-                                return Ok(());
-                            }
-                            body(env)
-                        }));
-                        g2.exit();
-                        match result {
-                            Ok(_) => None,
-                            Err(panic) => Some(panic_message(&*panic)),
+                let obs = ObsBuf::new(Arc::clone(&obs_seq));
+                let backend = match t.kind {
+                    TaskSpecKind::Stepper(stepper) => TaskBackend::Stepper {
+                        stepper,
+                        env: StepEnv {
+                            pid: ProcId(pi),
+                            clock: Arc::clone(&clock),
+                            obs: obs.clone(),
+                        },
+                    },
+                    TaskSpecKind::Thread(body) => {
+                        let gate = Arc::new(Gate::new());
+                        let tid = TaskId {
+                            proc: ProcId(pi),
+                            index: ti,
+                        };
+                        let env = TaskEnv {
+                            tid,
+                            gate: Arc::clone(&gate),
+                            clock: Arc::clone(&clock),
+                            obs: obs.clone(),
+                        };
+                        let g2 = Arc::clone(&gate);
+                        let thread_name = format!("{}-{}", spec.name, t.name);
+                        let handle = std::thread::Builder::new()
+                            .name(thread_name)
+                            .stack_size(256 * 1024)
+                            .spawn(move || {
+                                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    if g2.wait_for_go().is_err() {
+                                        return Ok(());
+                                    }
+                                    body(env)
+                                }));
+                                g2.exit();
+                                match result {
+                                    Ok(_) => None,
+                                    Err(panic) => Some(panic_message(&*panic)),
+                                }
+                            })
+                            .expect("failed to spawn task thread");
+                        TaskBackend::Thread {
+                            gate,
+                            handle: Some(handle),
                         }
-                    })
-                    .expect("failed to spawn task thread");
+                    }
+                };
                 tasks.push(TaskRt {
                     name: t.name,
-                    gate,
-                    handle: Some(handle),
+                    obs,
+                    backend,
                     exited: false,
+                    finished: false,
                     panic: None,
                 });
             }
@@ -130,7 +170,7 @@ impl SimBuilder {
                 crashed: false,
             });
         }
-        Sim { procs, clock, sink }
+        Sim { procs, clock }
     }
 }
 
@@ -144,11 +184,30 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The two execution backends a task can run on.
+enum TaskBackend {
+    /// Original backend: an OS thread parked behind a rendezvous gate;
+    /// granting a step costs two condvar handoffs.
+    Thread {
+        gate: Arc<Gate>,
+        handle: Option<JoinHandle<Option<String>>>,
+    },
+    /// Poll-driven backend: the scheduler calls `Stepper::step` directly;
+    /// granting a step is a plain function call.
+    Stepper {
+        stepper: Box<dyn Stepper>,
+        env: StepEnv,
+    },
+}
+
 struct TaskRt {
     name: String,
-    gate: Arc<Gate>,
-    handle: Option<JoinHandle<Option<String>>>,
+    obs: ObsBuf,
+    backend: TaskBackend,
     exited: bool,
+    /// Exited by completing (vs. by panicking); for thread tasks a panic
+    /// discovered at join time overrides this.
+    finished: bool,
     panic: Option<String>,
 }
 
@@ -250,7 +309,6 @@ impl RunReport {
 pub struct Sim {
     procs: Vec<ProcRt>,
     clock: Arc<AtomicU64>,
-    sink: Arc<TraceSink>,
 }
 
 impl Sim {
@@ -302,14 +360,31 @@ impl Sim {
                     continue;
                 }
                 self.clock.store(t, Ordering::SeqCst);
-                match proc.tasks[ti].gate.grant() {
+                let task = &mut proc.tasks[ti];
+                // `finished`/`panic` only apply on `TaskExited`.
+                let (grant, finished, panic) = match &mut task.backend {
+                    TaskBackend::Thread { gate, .. } => (gate.grant(), true, None),
+                    TaskBackend::Stepper { stepper, env } => {
+                        let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            stepper.step(&mut StepCtx::new(&*env))
+                        }));
+                        match step {
+                            Ok(Control::Yield) => (Grant::StepDone, false, None),
+                            Ok(Control::Done) => (Grant::TaskExited, true, None),
+                            Err(p) => (Grant::TaskExited, false, Some(panic_message(&*p))),
+                        }
+                    }
+                };
+                match grant {
                     Grant::StepDone => {
                         proc.cursor = ti + 1;
                         granted = true;
                         break;
                     }
                     Grant::TaskExited => {
-                        proc.tasks[ti].exited = true;
+                        task.exited = true;
+                        task.finished = finished;
+                        task.panic = panic;
                     }
                 }
             }
@@ -321,22 +396,27 @@ impl Sim {
             // runnability.
         }
 
-        // Tear down: halt all gates, join all threads.
+        // Tear down: halt all gates, join all task threads (stepper tasks
+        // have no thread to stop — they simply never get polled again).
         for proc in &self.procs {
             for task in &proc.tasks {
-                task.gate.halt();
+                if let TaskBackend::Thread { gate, .. } = &task.backend {
+                    gate.halt();
+                }
             }
         }
         let mut reports = Vec::with_capacity(n);
         for proc in &mut self.procs {
             let mut touts = Vec::new();
             for task in &mut proc.tasks {
-                let was_exited_before_halt = task.exited;
-                let panic = task.handle.take().and_then(|h| h.join().unwrap_or(None));
-                task.panic = panic.clone();
-                let outcome = if let Some(m) = panic {
-                    TaskOutcome::Panicked(m)
-                } else if was_exited_before_halt {
+                if let TaskBackend::Thread { handle, .. } = &mut task.backend {
+                    if let Some(panic) = handle.take().and_then(|h| h.join().unwrap_or(None)) {
+                        task.panic = Some(panic);
+                    }
+                }
+                let outcome = if let Some(m) = &task.panic {
+                    TaskOutcome::Panicked(m.clone())
+                } else if task.exited && task.finished {
                     TaskOutcome::Finished
                 } else {
                     TaskOutcome::Halted
@@ -350,9 +430,16 @@ impl Sim {
             });
         }
 
+        // Merge the per-task observation buffers back into one global
+        // sequence (the shared stamp counter makes the order exact).
+        let obs = ObsBuf::merge(
+            self.procs
+                .iter()
+                .flat_map(|p| p.tasks.iter().map(|t| t.obs.clone())),
+        );
         let trace = Trace {
             steps,
-            obs: self.sink.drain(),
+            obs,
             crashes: crashes_applied,
         };
         RunReport {
@@ -481,6 +568,137 @@ mod tests {
         let report = b.build().run(RunConfig::new(9, Scripted::new(script)));
         let got: Vec<usize> = report.trace.steps.iter().map(|p| p.0).collect();
         assert_eq!(got, vec![1, 1, 0, 1, 1, 0, 1, 1, 0]);
+    }
+
+    /// Observes the step index, yields `yields` times, then finishes.
+    struct CountingStepper {
+        yields: u64,
+        done: u64,
+    }
+
+    impl Stepper for CountingStepper {
+        fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+            if self.done < self.yields {
+                ctx.observe("i", 0, self.done as i64);
+                self.done += 1;
+                Control::Yield
+            } else {
+                ctx.observe("final", 0, -1);
+                Control::Done
+            }
+        }
+    }
+
+    #[test]
+    fn stepper_tasks_run_without_threads() {
+        let mut b = SimBuilder::new();
+        let p0 = b.add_process("p0");
+        b.add_stepper(
+            p0,
+            "count",
+            Box::new(CountingStepper { yields: 5, done: 0 }),
+        );
+        let report = b.build().run(RunConfig::new(100, RoundRobin::new()));
+        report.assert_no_panics();
+        assert_eq!(report.procs[0].tasks[0].1, TaskOutcome::Finished);
+        // 5 yields = 5 counted steps; the Done segment is not counted.
+        assert_eq!(report.trace.len(), 5);
+        assert_eq!(report.trace.obs_series(p0, "i", 0).len(), 5);
+        // The final (Done) segment still gets to observe.
+        assert_eq!(report.trace.last_value(p0, "final", 0), Some(-1));
+    }
+
+    #[test]
+    fn stepper_matches_blocking_task_exactly() {
+        // The same program on both backends: identical steps and
+        // identical observation sequences.
+        let run_stepper = || {
+            let mut b = SimBuilder::new();
+            let p0 = b.add_process("p0");
+            b.add_stepper(p0, "m", Box::new(CountingStepper { yields: 7, done: 0 }));
+            let p1 = b.add_process("p1");
+            b.add_task(p1, "spin", |env| loop {
+                env.tick()?;
+            });
+            b.build().run(RunConfig::new(40, RoundRobin::new()))
+        };
+        let run_blocking = || {
+            let mut b = SimBuilder::new();
+            let p0 = b.add_process("p0");
+            b.add_task(p0, "m", |env| {
+                for i in 0..7 {
+                    env.observe("i", 0, i);
+                    env.tick()?;
+                }
+                env.observe("final", 0, -1);
+                Ok(())
+            });
+            let p1 = b.add_process("p1");
+            b.add_task(p1, "spin", |env| loop {
+                env.tick()?;
+            });
+            b.build().run(RunConfig::new(40, RoundRobin::new()))
+        };
+        let rs = run_stepper();
+        let rb = run_blocking();
+        rs.assert_no_panics();
+        rb.assert_no_panics();
+        assert_eq!(rs.trace.steps, rb.trace.steps);
+        assert_eq!(rs.trace.obs, rb.trace.obs);
+        assert_eq!(rs.procs[0].tasks[0].1, rb.procs[0].tasks[0].1);
+    }
+
+    #[test]
+    fn stepper_and_thread_tasks_rotate_within_a_process() {
+        struct Tagger;
+        impl Stepper for Tagger {
+            fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+                ctx.observe("task", 0, 0);
+                Control::Yield
+            }
+        }
+        let mut b = SimBuilder::new();
+        let p0 = b.add_process("p0");
+        b.add_stepper(p0, "poll", Box::new(Tagger));
+        b.add_task(p0, "thread", |env| loop {
+            env.observe("task", 0, 1);
+            env.tick()?;
+        });
+        let report = b.build().run(RunConfig::new(10, RoundRobin::new()));
+        report.assert_no_panics();
+        let vals: Vec<i64> = report
+            .trace
+            .obs_series(ProcId(0), "task", 0)
+            .iter()
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(vals.len(), 10);
+        for w in vals.windows(2) {
+            assert_ne!(w[0], w[1], "backends must interleave: {vals:?}");
+        }
+    }
+
+    #[test]
+    fn stepper_panic_is_reported_not_propagated() {
+        struct Bomb;
+        impl Stepper for Bomb {
+            fn step(&mut self, _ctx: &mut StepCtx<'_>) -> Control {
+                panic!("fizzle");
+            }
+        }
+        let mut b = SimBuilder::new();
+        let p0 = b.add_process("p0");
+        b.add_stepper(p0, "bomb", Box::new(Bomb));
+        let p1 = b.add_process("p1");
+        b.add_task(p1, "good", |env| loop {
+            env.tick()?;
+        });
+        let report = b.build().run(RunConfig::new(30, RoundRobin::new()));
+        match &report.procs[0].tasks[0].1 {
+            TaskOutcome::Panicked(m) => assert!(m.contains("fizzle")),
+            o => panic!("expected panic outcome, got {o:?}"),
+        }
+        assert_eq!(report.procs[1].tasks[0].1, TaskOutcome::Halted);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! The poll-driven step engine: tasks as explicit state machines.
+//!
+//! The original execution backend runs every task on its own OS thread
+//! behind a rendezvous turnstile ([`gate`](crate::Sim)) — two condvar
+//! handoffs per simulated step. A [`Stepper`] instead *is* the step: the
+//! scheduler calls [`Stepper::step`] directly, so granting a step is a
+//! plain (devirtualizable) function call with zero thread traffic. One
+//! `step()` call corresponds exactly to the code a blocking task would
+//! execute between two consecutive `Env::tick` calls.
+//!
+//! Both backends coexist in one run and are **step-for-step
+//! equivalent**: a blocking closure consumes the step at `tick()`; a
+//! stepper consumes it by returning [`Control::Yield`]. Returning
+//! [`Control::Done`] corresponds to the closure returning `Ok(())` — the
+//! final segment runs but is *not* counted as a step, and the process's
+//! next task is tried in the same time slot (exactly the thread
+//! backend's `TaskExited` semantics). Because simulated register
+//! operations expose an invoke/complete pair from which the blocking
+//! forms are derived (see `tbwf-registers`), the tick positions of a
+//! ported algorithm are identical by construction on both backends, and
+//! a run remains a deterministic function of `(program, schedule,
+//! seed)`.
+
+use crate::env::Env;
+use crate::halt::SimResult;
+use crate::ids::ProcId;
+use crate::trace::ObsBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What a [`Stepper`] tells the scheduler after executing one segment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Control {
+    /// The segment consumed this step; call `step` again when the
+    /// process is next scheduled.
+    Yield,
+    /// The task is finished (the blocking analogue returned `Ok(())`).
+    /// The segment that returned `Done` is *not* counted as a step.
+    Done,
+}
+
+/// A task written as an explicit state machine, driven by the scheduler.
+///
+/// Each `step` call runs one *segment*: the code a blocking task would
+/// execute between two consecutive `tick`s. Within a segment no other
+/// task runs, so process-local state cannot change mid-segment. Register
+/// operations must straddle segments via their invoke/complete pair:
+/// invoke at the end of one segment, complete at the start of the next —
+/// this is what gives operations their two-step (invocation/response)
+/// extent in the paper's model.
+pub trait Stepper: Send {
+    /// Executes one segment. See the trait docs for the contract.
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control;
+}
+
+/// The environment handed to [`Stepper::step`].
+///
+/// A thin view over the backing [`Env`] that forwards `now`/`pid`/
+/// `observe` but *panics on `tick`*: a stepper consumes steps by
+/// yielding, never by blocking, and the panic catches accidental calls
+/// to blocking register operations from stepper code on either backend.
+pub struct StepCtx<'a> {
+    env: &'a dyn Env,
+}
+
+impl<'a> StepCtx<'a> {
+    /// Wraps a backing environment for the duration of one (or more)
+    /// segments.
+    pub fn new(env: &'a dyn Env) -> Self {
+        StepCtx { env }
+    }
+
+    /// Current global time.
+    pub fn now(&self) -> u64 {
+        self.env.now()
+    }
+
+    /// The process this task belongs to.
+    pub fn pid(&self) -> ProcId {
+        self.env.pid()
+    }
+
+    /// Records an observation (see [`Env::observe`]).
+    pub fn observe(&self, key: &'static str, idx: u32, value: i64) {
+        self.env.observe(key, idx, value);
+    }
+
+    /// The context as an [`Env`], for register invoke/complete calls
+    /// (which accept `&dyn Env`). `tick` on the returned env panics.
+    pub fn env(&self) -> &dyn Env {
+        self
+    }
+}
+
+impl Env for StepCtx<'_> {
+    fn tick(&self) -> SimResult<()> {
+        panic!(
+            "Env::tick called from stepper code: a Stepper must return \
+             Control::Yield to consume a step (blocking register \
+             operations are not available inside a Stepper — use the \
+             invoke/complete pair)"
+        );
+    }
+
+    fn now(&self) -> u64 {
+        self.env.now()
+    }
+
+    fn pid(&self) -> ProcId {
+        self.env.pid()
+    }
+
+    fn observe(&self, key: &'static str, idx: u32, value: i64) {
+        self.env.observe(key, idx, value);
+    }
+}
+
+/// The runner-internal backing env of a native (poll-driven) stepper
+/// task: shares the run's clock and writes observations into the task's
+/// buffer. `tick` panics — the scheduler never grants a blocking step to
+/// a stepper.
+pub(crate) struct StepEnv {
+    pub(crate) pid: ProcId,
+    pub(crate) clock: Arc<AtomicU64>,
+    pub(crate) obs: ObsBuf,
+}
+
+impl Env for StepEnv {
+    fn tick(&self) -> SimResult<()> {
+        panic!(
+            "Env::tick called from stepper code: a Stepper must return \
+             Control::Yield to consume a step (blocking register \
+             operations are not available inside a Stepper — use the \
+             invoke/complete pair)"
+        );
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    fn observe(&self, key: &'static str, idx: u32, value: i64) {
+        self.obs.record(self.now(), self.pid, key, idx, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::FreeRunEnv;
+
+    #[test]
+    fn ctx_forwards_now_pid_observe() {
+        let env = FreeRunEnv::new(ProcId(4));
+        env.tick().unwrap();
+        let ctx = StepCtx::new(&env);
+        assert_eq!(ctx.now(), 1);
+        assert_eq!(ctx.pid(), ProcId(4));
+        ctx.observe("k", 2, 9);
+        let obs = env.take_obs();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].idx, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must return Control::Yield")]
+    fn ctx_tick_panics() {
+        let env = FreeRunEnv::new(ProcId(0));
+        let ctx = StepCtx::new(&env);
+        let _ = ctx.env().tick();
+    }
+}

@@ -3,6 +3,8 @@
 use crate::ids::ProcId;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One observation of a local output variable.
 ///
@@ -23,6 +25,60 @@ pub struct Obs {
     pub idx: u32,
     /// Observed value.
     pub value: i64,
+}
+
+/// Per-task observation buffer with a run-global sequence stamp.
+///
+/// Each task appends into its own buffer (no contention with other
+/// tasks), but every record draws a stamp from one counter shared by all
+/// buffers of a run; merging the buffers sorted by stamp reproduces the
+/// exact global recording order. The stamp (not `Obs::time`) is what
+/// orders observations: several tasks can observe at the same time `t`
+/// when an exiting task's final segment and its successor run in the
+/// same slot.
+#[derive(Clone)]
+pub(crate) struct ObsBuf {
+    seq: Arc<AtomicU64>,
+    items: Arc<Mutex<Vec<(u64, Obs)>>>,
+}
+
+impl ObsBuf {
+    /// A fresh buffer drawing stamps from `seq` (share one `seq` across
+    /// all buffers of a run).
+    pub(crate) fn new(seq: Arc<AtomicU64>) -> Self {
+        ObsBuf {
+            seq,
+            items: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    pub(crate) fn record(&self, time: u64, proc: ProcId, key: &'static str, idx: u32, value: i64) {
+        let stamp = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.items.lock().push((
+            stamp,
+            Obs {
+                time,
+                proc,
+                key,
+                idx,
+                value,
+            },
+        ));
+    }
+
+    pub(crate) fn take_items(&self) -> Vec<(u64, Obs)> {
+        std::mem::take(&mut self.items.lock())
+    }
+
+    /// Merges buffers into one observation list in global recording order.
+    pub(crate) fn merge(bufs: impl IntoIterator<Item = ObsBuf>) -> Vec<Obs> {
+        let mut all: Vec<(u64, Obs)> = Vec::new();
+        for buf in bufs {
+            all.extend(buf.take_items());
+        }
+        all.sort_by_key(|(stamp, _)| *stamp);
+        all.into_iter().map(|(_, o)| o).collect()
+    }
 }
 
 /// Thread-safe sink the tasks append observations to while running.
@@ -201,6 +257,21 @@ mod tests {
             ],
             crashes: vec![(4, ProcId(1))],
         }
+    }
+
+    #[test]
+    fn obs_buf_merge_restores_recording_order() {
+        let seq = Arc::new(AtomicU64::new(0));
+        let a = ObsBuf::new(Arc::clone(&seq));
+        let b = ObsBuf::new(Arc::clone(&seq));
+        // Interleave records across buffers; same `time` throughout, so
+        // only the stamp can restore the order.
+        a.record(5, ProcId(0), "x", 0, 1);
+        b.record(5, ProcId(1), "x", 0, 2);
+        a.record(5, ProcId(0), "x", 0, 3);
+        let merged = ObsBuf::merge([b, a]);
+        let values: Vec<i64> = merged.iter().map(|o| o.value).collect();
+        assert_eq!(values, vec![1, 2, 3]);
     }
 
     #[test]

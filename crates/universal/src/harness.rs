@@ -8,13 +8,15 @@
 
 use crate::baselines::{drive_obstruction_free, CasUniversal, FlmsBoost, FlmsShared};
 use crate::object::{Counter, CounterOp};
-use crate::qa::QaObject;
-use crate::tbwf::{invoke_tbwf, invoke_tbwf_non_canonical};
+use crate::qa::{QaObject, QaSession};
+use crate::tbwf::TbwfCall;
 use std::sync::Arc;
 use tbwf_omega::harness::install_omega;
-use tbwf_omega::OmegaKind;
+use tbwf_omega::{OmegaHandles, OmegaKind};
 use tbwf_registers::{OpLog, RegisterFactory, RegisterFactoryConfig};
-use tbwf_sim::{Env, ProcId, RunConfig, RunReport, SimBuilder};
+use tbwf_sim::{
+    Control, Env, ProcId, RunConfig, RunReport, SimBuilder, StepCtx, Stepper, TaskSpawner,
+};
 
 /// Observation key: number of completed operations of a worker.
 pub const OBS_COMPLETED: &str = "completed";
@@ -56,6 +58,52 @@ impl Default for WorkloadConfig {
             engine: Engine::Tbwf(OmegaKind::Atomic),
             factory: RegisterFactoryConfig::default(),
             ops_per_proc: u64::MAX,
+        }
+    }
+}
+
+/// The TBWF increment worker in poll form: one [`TbwfCall`] after
+/// another until `ops` operations have completed. The baseline engines
+/// keep their blocking closures, so a workload run exercises both task
+/// kinds side by side.
+struct TbwfWorker {
+    session: QaSession<Counter>,
+    omega: OmegaHandles,
+    canonical: bool,
+    ops: u64,
+    done: u64,
+    started: bool,
+    call: Option<TbwfCall<Counter>>,
+}
+
+impl Stepper for TbwfWorker {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        if !self.started {
+            self.started = true;
+            env.observe(OBS_COMPLETED, 0, 0);
+            if self.done >= self.ops {
+                return Control::Done;
+            }
+            self.call = Some(TbwfCall::new(CounterOp::Inc, self.canonical));
+        }
+        loop {
+            let call = self.call.as_mut().expect("worker has a call in flight");
+            match call.poll(env, &mut self.session, &self.omega) {
+                None => return Control::Yield,
+                Some(v) => {
+                    self.done += 1;
+                    env.observe(OBS_RESP, 0, v);
+                    env.observe(OBS_COMPLETED, 0, self.done as i64);
+                    if self.done >= self.ops {
+                        self.call = None;
+                        return Control::Done;
+                    }
+                    // The next call's first segment runs in the segment
+                    // that completed this one, like the blocking loop.
+                    self.call = Some(TbwfCall::new(CounterOp::Inc, self.canonical));
+                }
+            }
         }
     }
 }
@@ -112,23 +160,16 @@ pub fn run_counter_workload(cfg: &WorkloadConfig, run: RunConfig) -> WorkloadOut
             let omega_handles = install_omega(&mut b, &factory, cfg.n, kind);
             let obj = QaObject::new(Counter, cfg.n, Arc::clone(&factory));
             for p in 0..cfg.n {
-                let mut session = obj.session(ProcId(p));
-                let omega = omega_handles[p].clone();
-                b.add_task(ProcId(p), "worker", move |env| {
-                    env.observe(OBS_COMPLETED, 0, 0);
-                    let mut done = 0u64;
-                    while done < ops {
-                        let v = if canonical {
-                            invoke_tbwf(&env, &mut session, &omega, CounterOp::Inc)?
-                        } else {
-                            invoke_tbwf_non_canonical(&env, &mut session, &omega, CounterOp::Inc)?
-                        };
-                        done += 1;
-                        env.observe(OBS_RESP, 0, v);
-                        env.observe(OBS_COMPLETED, 0, done as i64);
-                    }
-                    Ok(())
-                });
+                let worker = TbwfWorker {
+                    session: obj.session(ProcId(p)),
+                    omega: omega_handles[p].clone(),
+                    canonical,
+                    ops,
+                    done: 0,
+                    started: false,
+                    call: None,
+                };
+                b.spawn_stepper(ProcId(p), "worker", Box::new(worker));
             }
         }
         Engine::PlainOf => {

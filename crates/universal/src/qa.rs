@@ -53,7 +53,7 @@ use crate::object::{ObjectType, Outcome};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use tbwf_registers::{ReadOutcome, RegisterFactory, SharedAbortable};
+use tbwf_registers::{OpToken, ReadOutcome, RegisterFactory, SharedAbortable};
 use tbwf_sim::{Env, ProcId, SimResult};
 
 /// A log entry: one operation instance of one process.
@@ -184,6 +184,7 @@ impl<T: ObjectType> QaObject<T> {
             b_written: false,
             known_decided: BTreeMap::new(),
             last_fate: None,
+            inflight: None,
             stats: SessionStats::default(),
         }
     }
@@ -234,21 +235,66 @@ pub struct QaSession<T: ObjectType> {
     /// answering for it after resolution (footnote 3: query reports the
     /// fate of the last non-query operation).
     last_fate: Option<Outcome<T::Resp>>,
+    /// The in-flight invocation, if any (poll form).
+    inflight: Option<OpProgress<T>>,
     stats: SessionStats,
 }
 
-enum RoundStep<Op> {
+/// How an adopt-commit round ended.
+enum RoundStep {
     /// A register operation aborted; the round will resume next call.
     Interrupted,
     /// The round completed without commit; we advanced to the next round.
     Advanced,
-    /// The round committed this entry (decision for `cur_slot`).
-    Committed(Entry<Op>),
+    /// The round committed a value (the decision for `cur_slot`).
+    Committed,
 }
 
-impl<Op> RoundStep<Op> {
-    fn is_committed(&self) -> bool {
-        matches!(self, RoundStep::Committed(_))
+/// Which invocation the in-flight state machine is running.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum InvKind {
+    Apply,
+    Query,
+}
+
+/// Where an in-flight invocation is parked between segments: the
+/// register operation invoked at the end of the previous segment.
+enum InvStage {
+    /// No register operation in flight yet (first segment).
+    Start,
+    /// `D[cursor]` read during catch-up.
+    CatchUpRead(OpToken),
+    /// The own `A` proposal write.
+    AWrite(OpToken),
+    /// The read of `A[q]`.
+    ARead { q: usize, tok: OpToken },
+    /// The own `B` adopt/commit write.
+    BWrite(OpToken),
+    /// The read of `B[q]`.
+    BRead { q: usize, tok: OpToken },
+    /// The best-effort decision persist to `D[cur_slot]`.
+    DWrite(OpToken),
+}
+
+/// Per-invocation scratch state of the poll machine.
+struct OpProgress<T: ObjectType> {
+    kind: InvKind,
+    stage: InvStage,
+    /// Running the post-commit catch-up (the second one of apply/query)?
+    after_commit: bool,
+    a_view: Vec<Option<Entry<T::Op>>>,
+    b_view: Vec<BVal<T::Op>>,
+}
+
+impl<T: ObjectType> OpProgress<T> {
+    fn new(kind: InvKind) -> Self {
+        OpProgress {
+            kind,
+            stage: InvStage::Start,
+            after_commit: false,
+            a_view: Vec::new(),
+            b_view: Vec::new(),
+        }
     }
 }
 
@@ -303,25 +349,6 @@ impl<T: ObjectType> QaSession<T> {
         }
     }
 
-    /// Replays newly decided slots into the replica. Returns `true` if the
-    /// frontier (first undecided slot) was reached cleanly, `false` if a
-    /// read aborted on the way.
-    fn catch_up(&mut self, env: &dyn Env) -> SimResult<bool> {
-        loop {
-            let s = self.cursor;
-            if let Some(e) = self.known_decided.get(&s).cloned() {
-                self.apply_decided(e);
-                continue;
-            }
-            let slot = self.obj.slot(s);
-            match slot.d.read(env)? {
-                ReadOutcome::Aborted => return Ok(false),
-                ReadOutcome::Value(None) => return Ok(true),
-                ReadOutcome::Value(Some(e)) => self.apply_decided(e),
-            }
-        }
-    }
-
     fn check_resolved(&mut self) -> Option<Outcome<T::Resp>> {
         let pend = self.pending.as_ref()?;
         if let Some((seq, resp)) = &self.last_of[self.p.0] {
@@ -335,12 +362,77 @@ impl<T: ObjectType> QaSession<T> {
         None
     }
 
-    /// Runs (or resumes) one adopt-commit round at the frontier slot.
-    fn advance_round(&mut self, env: &dyn Env) -> SimResult<RoundStep<T::Op>> {
-        let n = self.obj.n;
+    /// The round registers of the frontier slot/round (idempotent lookup,
+    /// so each segment can re-fetch them).
+    fn round_regs(&self) -> Arc<RoundRegs<T::Op>> {
         let slot = self.obj.slot(self.cur_slot);
-        let round = self.obj.round(self.cur_slot, &slot, self.cur_round);
+        self.obj.round(self.cur_slot, &slot, self.cur_round)
+    }
 
+    fn stage(&mut self) -> &mut InvStage {
+        &mut self.inflight.as_mut().expect("invocation in flight").stage
+    }
+
+    /// Starts (or resumes) the catch-up loop: replays `known_decided`
+    /// slots locally, then invokes the `D` read of the frontier slot.
+    fn catchup_enter(&mut self, env: &dyn Env) -> Option<Outcome<T::Resp>> {
+        loop {
+            let s = self.cursor;
+            if let Some(e) = self.known_decided.get(&s).cloned() {
+                self.apply_decided(e);
+                continue;
+            }
+            let tok = self.obj.slot(s).d.invoke_read(env);
+            *self.stage() = InvStage::CatchUpRead(tok);
+            return None;
+        }
+    }
+
+    /// Completes a catch-up `D` read and either continues the loop or
+    /// falls through to the post-catch-up logic of the invocation.
+    fn catchup_complete(&mut self, env: &dyn Env, tok: OpToken) -> Option<Outcome<T::Resp>> {
+        match self.obj.slot(self.cursor).d.complete_read(env, tok) {
+            ReadOutcome::Aborted => self.after_catchup(env, false),
+            ReadOutcome::Value(None) => self.after_catchup(env, true),
+            ReadOutcome::Value(Some(e)) => {
+                self.apply_decided(e);
+                self.catchup_enter(env)
+            }
+        }
+    }
+
+    /// The invocation code between catch-up and the consensus round:
+    /// resolution checks, fate checks, and entry into `advance_round`.
+    fn after_catchup(&mut self, env: &dyn Env, clean: bool) -> Option<Outcome<T::Resp>> {
+        let fl = self.inflight.as_ref().expect("invocation in flight");
+        let (kind, after_commit) = (fl.kind, fl.after_commit);
+        if let Some(out) = self.check_resolved() {
+            self.stats.dones += 1;
+            return Some(out);
+        }
+        if kind == InvKind::Query {
+            if !after_commit && self.pending.is_none() {
+                // No pending operation: keep answering for the last
+                // resolved one (its response if it took effect, F if it
+                // did not).
+                return Some(self.last_fate.clone().unwrap_or(Outcome::NoEffect));
+            }
+            if self.pending_dead() {
+                self.pending = None;
+                self.last_fate = Some(Outcome::NoEffect);
+                return Some(Outcome::NoEffect);
+            }
+        }
+        if after_commit || !clean {
+            return Some(Outcome::Bot);
+        }
+        self.round_enter(env)
+    }
+
+    /// Starts (or resumes) one adopt-commit round at the frontier slot:
+    /// memoizes the proposal and invokes the own `A` write (or, when the
+    /// write is already done, the first `A` read).
+    fn round_enter(&mut self, env: &dyn Env) -> Option<Outcome<T::Resp>> {
         // Choose (and memoize) the proposal for this round.
         if self.a_val.is_none() {
             let val = match &self.adopted {
@@ -368,29 +460,37 @@ impl<T: ObjectType> QaSession<T> {
             }
             self.a_val = Some(val);
         }
-        let aval = self.a_val.clone().expect("a_val set above");
-
         if !self.a_written {
-            if !round.a[self.p.0].write(env, Some(aval.clone()))?.is_ok() {
-                return Ok(RoundStep::Interrupted);
-            }
-            self.a_written = true;
+            let aval = self.a_val.clone().expect("a_val set above");
+            let tok = self.round_regs().a[self.p.0].invoke_write(env, Some(aval));
+            *self.stage() = InvStage::AWrite(tok);
+            return None;
         }
+        self.a_read_enter(env, 0)
+    }
 
-        // Read every A register.
-        let mut a_view: Vec<Option<Entry<T::Op>>> = Vec::with_capacity(n);
-        for q in 0..n {
-            match round.a[q].read(env)? {
-                ReadOutcome::Aborted => return Ok(RoundStep::Interrupted),
-                ReadOutcome::Value(v) => a_view.push(v),
-            }
+    fn a_read_enter(&mut self, env: &dyn Env, q: usize) -> Option<Outcome<T::Resp>> {
+        if q == 0 {
+            self.inflight
+                .as_mut()
+                .expect("invocation in flight")
+                .a_view
+                .clear();
         }
+        let tok = self.round_regs().a[q].invoke_read(env);
+        *self.stage() = InvStage::ARead { q, tok };
+        None
+    }
 
+    /// The local code between the `A` reads and the own `B` write.
+    fn after_a_reads(&mut self, env: &dyn Env) -> Option<Outcome<T::Resp>> {
         if self.b_val.is_none() {
-            let written: Vec<&Entry<T::Op>> = a_view.iter().flatten().collect();
+            let aval = self.a_val.clone().expect("a_val memoized");
+            let fl = self.inflight.as_ref().expect("invocation in flight");
+            let written: Vec<&Entry<T::Op>> = fl.a_view.iter().flatten().collect();
             let all_mine = written.iter().all(|e| **e == aval);
-            self.b_val = Some(if all_mine {
-                (true, aval.clone())
+            let bval = if all_mine {
+                (true, aval)
             } else {
                 let w = written
                     .into_iter()
@@ -398,53 +498,217 @@ impl<T: ObjectType> QaSession<T> {
                     .expect("own A value is visible")
                     .clone();
                 (false, w)
-            });
+            };
+            self.b_val = Some(bval);
         }
-        let bval = self.b_val.clone().expect("b_val set above");
-
         if !self.b_written {
-            if !round.b[self.p.0].write(env, Some(bval.clone()))?.is_ok() {
-                return Ok(RoundStep::Interrupted);
-            }
-            self.b_written = true;
+            let bval = self.b_val.clone().expect("b_val set above");
+            let tok = self.round_regs().b[self.p.0].invoke_write(env, Some(bval));
+            *self.stage() = InvStage::BWrite(tok);
+            return None;
         }
+        self.b_read_enter(env, 0)
+    }
 
-        // Read every B register.
-        let mut b_view: Vec<BVal<T::Op>> = Vec::with_capacity(n);
-        for q in 0..n {
-            match round.b[q].read(env)? {
-                ReadOutcome::Aborted => return Ok(RoundStep::Interrupted),
-                ReadOutcome::Value(Some(v)) => b_view.push(v),
-                ReadOutcome::Value(None) => {}
+    fn b_read_enter(&mut self, env: &dyn Env, q: usize) -> Option<Outcome<T::Resp>> {
+        if q == 0 {
+            self.inflight
+                .as_mut()
+                .expect("invocation in flight")
+                .b_view
+                .clear();
+        }
+        let tok = self.round_regs().b[q].invoke_read(env);
+        *self.stage() = InvStage::BRead { q, tok };
+        None
+    }
+
+    /// The commit/adopt decision after all `B` reads.
+    fn after_b_reads(&mut self, env: &dyn Env) -> Option<Outcome<T::Resp>> {
+        let committed = {
+            let fl = self.inflight.as_ref().expect("invocation in flight");
+            debug_assert!(!fl.b_view.is_empty(), "own B value is visible");
+            let first = &fl.b_view[0].1;
+            if fl.b_view.iter().all(|(c, w)| *c && w == first) {
+                Ok(first.clone())
+            } else if let Some((_, w)) = fl.b_view.iter().find(|(c, _)| *c) {
+                Err(w.clone())
+            } else {
+                Err(fl
+                    .b_view
+                    .iter()
+                    .map(|(_, w)| w)
+                    .min_by_key(|e| (e.proposer, e.seq))
+                    .expect("non-empty B view")
+                    .clone())
+            }
+        };
+        match committed {
+            Ok(w) => {
+                // Commit: the decision for cur_slot is `w`.
+                self.stats.commits += 1;
+                self.known_decided.insert(self.cur_slot, w.clone());
+                // Best-effort persist; an abort is fine (we know the
+                // decision, and others re-derive it through the round
+                // chain).
+                let tok = self.obj.slot(self.cur_slot).d.invoke_write(env, Some(w));
+                *self.stage() = InvStage::DWrite(tok);
+                None
+            }
+            Err(w) => {
+                self.adopted = Some(w);
+                self.cur_round += 1;
+                self.reset_round_state();
+                self.round_done(env, RoundStep::Advanced)
             }
         }
-        debug_assert!(!b_view.is_empty(), "own B value is visible");
+    }
 
-        let first = &b_view[0].1;
-        if b_view.iter().all(|(c, w)| *c && w == first) {
-            // Commit: the decision for cur_slot is `first`.
-            let w = first.clone();
-            self.stats.commits += 1;
-            self.known_decided.insert(self.cur_slot, w.clone());
-            // Best-effort persist; an abort is fine (we know the decision,
-            // and others re-derive it through the round chain).
-            let _ = slot.d.write(env, Some(w.clone()))?;
-            return Ok(RoundStep::Committed(w));
+    /// The invocation code after `advance_round`: a committed round is
+    /// followed by a second catch-up; anything else answers `⊥`.
+    fn round_done(&mut self, env: &dyn Env, step: RoundStep) -> Option<Outcome<T::Resp>> {
+        match step {
+            RoundStep::Committed => {
+                self.inflight
+                    .as_mut()
+                    .expect("invocation in flight")
+                    .after_commit = true;
+                self.catchup_enter(env)
+            }
+            RoundStep::Advanced | RoundStep::Interrupted => Some(Outcome::Bot),
         }
-        if let Some((_, w)) = b_view.iter().find(|(c, _)| *c) {
-            self.adopted = Some(w.clone());
-        } else {
-            let w = b_view
-                .iter()
-                .map(|(_, w)| w)
-                .min_by_key(|e| (e.proposer, e.seq))
-                .expect("non-empty B view")
-                .clone();
-            self.adopted = Some(w);
+    }
+
+    /// Starts an `apply` invocation in poll form (see
+    /// [`QaSession::poll_op`]). Performs the same bookkeeping as the
+    /// first segment of the blocking [`QaSession::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation is already in flight, or if a *different*
+    /// operation is still pending (protocol misuse: its fate must be
+    /// resolved through `query` first).
+    pub fn begin_apply(&mut self, op: T::Op) {
+        assert!(
+            self.inflight.is_none(),
+            "begin_apply while an invocation is in flight"
+        );
+        self.stats.applies += 1;
+        match &self.pending {
+            None => {
+                self.my_seq += 1;
+                self.pending = Some(PendingOp {
+                    seq: self.my_seq,
+                    op,
+                    exposed: BTreeSet::new(),
+                });
+            }
+            Some(pend) => {
+                assert!(
+                    pend.op == op,
+                    "apply() while a different operation is pending; query() its fate first"
+                );
+            }
         }
-        self.cur_round += 1;
-        self.reset_round_state();
-        Ok(RoundStep::Advanced)
+        self.inflight = Some(OpProgress::new(InvKind::Apply));
+    }
+
+    /// Starts a `query` invocation in poll form (see
+    /// [`QaSession::poll_op`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invocation is already in flight.
+    pub fn begin_query(&mut self) {
+        assert!(
+            self.inflight.is_none(),
+            "begin_query while an invocation is in flight"
+        );
+        self.stats.queries += 1;
+        self.inflight = Some(OpProgress::new(InvKind::Query));
+    }
+
+    /// Runs one segment of the in-flight invocation: completes the
+    /// register operation invoked at the end of the previous segment,
+    /// runs the local code up to the next register invocation (invoking
+    /// it), and returns `Some` when the invocation finishes.
+    ///
+    /// This is the step-engine form of [`QaSession::apply`] and
+    /// [`QaSession::query`]; the blocking forms are derived from it by
+    /// inserting one [`Env::tick`] per `None`, so both consume steps at
+    /// identical points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no invocation is in flight.
+    pub fn poll_op(&mut self, env: &dyn Env) -> Option<Outcome<T::Resp>> {
+        let stage = std::mem::replace(self.stage(), InvStage::Start);
+        let out = match stage {
+            InvStage::Start => self.catchup_enter(env),
+            InvStage::CatchUpRead(tok) => self.catchup_complete(env, tok),
+            InvStage::AWrite(tok) => {
+                if self.round_regs().a[self.p.0]
+                    .complete_write(env, tok)
+                    .is_ok()
+                {
+                    self.a_written = true;
+                    self.a_read_enter(env, 0)
+                } else {
+                    self.round_done(env, RoundStep::Interrupted)
+                }
+            }
+            InvStage::ARead { q, tok } => match self.round_regs().a[q].complete_read(env, tok) {
+                ReadOutcome::Aborted => self.round_done(env, RoundStep::Interrupted),
+                ReadOutcome::Value(v) => {
+                    self.inflight
+                        .as_mut()
+                        .expect("invocation in flight")
+                        .a_view
+                        .push(v);
+                    if q + 1 < self.obj.n {
+                        self.a_read_enter(env, q + 1)
+                    } else {
+                        self.after_a_reads(env)
+                    }
+                }
+            },
+            InvStage::BWrite(tok) => {
+                if self.round_regs().b[self.p.0]
+                    .complete_write(env, tok)
+                    .is_ok()
+                {
+                    self.b_written = true;
+                    self.b_read_enter(env, 0)
+                } else {
+                    self.round_done(env, RoundStep::Interrupted)
+                }
+            }
+            InvStage::BRead { q, tok } => match self.round_regs().b[q].complete_read(env, tok) {
+                ReadOutcome::Aborted => self.round_done(env, RoundStep::Interrupted),
+                ReadOutcome::Value(v) => {
+                    if let Some(v) = v {
+                        self.inflight
+                            .as_mut()
+                            .expect("invocation in flight")
+                            .b_view
+                            .push(v);
+                    }
+                    if q + 1 < self.obj.n {
+                        self.b_read_enter(env, q + 1)
+                    } else {
+                        self.after_b_reads(env)
+                    }
+                }
+            },
+            InvStage::DWrite(tok) => {
+                let _ = self.obj.slot(self.cur_slot).d.complete_write(env, tok);
+                self.round_done(env, RoundStep::Committed)
+            }
+        };
+        if out.is_some() {
+            self.inflight = None;
+        }
+        out
     }
 
     /// Applies `op` to the object (one bounded attempt).
@@ -467,41 +731,12 @@ impl<T: ObjectType> QaSession<T> {
     /// Panics if a *different* operation is still pending (protocol
     /// misuse: its fate must be resolved through `query` first).
     pub fn apply(&mut self, env: &dyn Env, op: T::Op) -> SimResult<Outcome<T::Resp>> {
-        self.stats.applies += 1;
-        match &self.pending {
-            None => {
-                self.my_seq += 1;
-                self.pending = Some(PendingOp {
-                    seq: self.my_seq,
-                    op,
-                    exposed: BTreeSet::new(),
-                });
+        self.begin_apply(op);
+        loop {
+            if let Some(out) = self.poll_op(env) {
+                return Ok(out);
             }
-            Some(pend) => {
-                assert!(
-                    pend.op == op,
-                    "apply() while a different operation is pending; query() its fate first"
-                );
-            }
-        }
-        let clean = self.catch_up(env)?;
-        if let Some(out) = self.check_resolved() {
-            self.stats.dones += 1;
-            return Ok(out);
-        }
-        if !clean {
-            return Ok(Outcome::Bot);
-        }
-        match self.advance_round(env)? {
-            RoundStep::Committed(_) => {
-                let _ = self.catch_up(env)?;
-                if let Some(out) = self.check_resolved() {
-                    self.stats.dones += 1;
-                    return Ok(out);
-                }
-                Ok(Outcome::Bot)
-            }
-            RoundStep::Advanced | RoundStep::Interrupted => Ok(Outcome::Bot),
+            env.tick()?;
         }
     }
 
@@ -535,40 +770,13 @@ impl<T: ObjectType> QaSession<T> {
     ///
     /// Returns [`Halted`](tbwf_sim::Halted) when the run ends.
     pub fn query(&mut self, env: &dyn Env) -> SimResult<Outcome<T::Resp>> {
-        self.stats.queries += 1;
-        let clean = self.catch_up(env)?;
-        if let Some(out) = self.check_resolved() {
-            self.stats.dones += 1;
-            return Ok(out);
-        }
-        if self.pending.is_none() {
-            // No pending operation: keep answering for the last resolved
-            // one (its response if it took effect, F if it did not).
-            return Ok(self.last_fate.clone().unwrap_or(Outcome::NoEffect));
-        }
-        if self.pending_dead() {
-            self.pending = None;
-            self.last_fate = Some(Outcome::NoEffect);
-            return Ok(Outcome::NoEffect);
-        }
-        if !clean {
-            return Ok(Outcome::Bot);
-        }
-        // The pending entry is exposed to the frontier slot and that slot
-        // is undecided: help decide it (either way) with one round.
-        if self.advance_round(env)?.is_committed() {
-            let _ = self.catch_up(env)?;
-            if let Some(out) = self.check_resolved() {
-                self.stats.dones += 1;
+        self.begin_query();
+        loop {
+            if let Some(out) = self.poll_op(env) {
                 return Ok(out);
             }
-            if self.pending_dead() {
-                self.pending = None;
-                self.last_fate = Some(Outcome::NoEffect);
-                return Ok(Outcome::NoEffect);
-            }
+            env.tick()?;
         }
-        Ok(Outcome::Bot)
     }
 }
 

@@ -36,6 +36,127 @@ fn set_candidate(env: &dyn Env, omega: &OmegaHandles, v: bool) {
     }
 }
 
+/// Where a [`TbwfCall`] is parked between segments.
+#[derive(Clone, Copy)]
+enum CallState {
+    /// First segment of the call.
+    Start,
+    /// Line 2: waiting until `leader ≠ p` (canonical only).
+    LeaderWait,
+    /// Line 5 head step consumed: run the line-6 leader check.
+    LoopHead,
+    /// An `O_QA` invocation is in flight ([`QaSession::poll_op`]).
+    OpInFlight,
+}
+
+/// One TBWF operation (Figure 7) in poll form: [`TbwfCall::poll`] runs
+/// one segment per call and returns the response when the operation
+/// completes. The blocking [`invoke_tbwf`] /
+/// [`invoke_tbwf_non_canonical`] are derived from this machine by
+/// inserting one [`Env::tick`] per pending poll, so both forms consume
+/// steps at identical points.
+pub struct TbwfCall<T: ObjectType> {
+    op: T::Op,
+    canonical: bool,
+    next: NextInvocation,
+    observed_applying: bool,
+    state: CallState,
+}
+
+impl<T: ObjectType> TbwfCall<T> {
+    /// Prepares the operation; `canonical` enables the line-2 wait and
+    /// the phase observations of [`invoke_tbwf`].
+    pub fn new(op: T::Op, canonical: bool) -> Self {
+        TbwfCall {
+            op,
+            canonical,
+            next: NextInvocation::Op,
+            observed_applying: false,
+            state: CallState::Start,
+        }
+    }
+
+    /// Lines 3–5: become a candidate and enter the main loop.
+    fn enter_competition(&mut self, env: &dyn Env, omega: &OmegaHandles) {
+        set_candidate(env, omega, true);
+        if self.canonical {
+            env.observe("phase", 0, 2);
+        }
+        self.state = CallState::LoopHead;
+    }
+
+    /// Runs one segment. Returns the response when the operation has
+    /// completed (lines 8/10 reached a normal response); the final
+    /// segment runs without consuming an extra step, exactly like the
+    /// blocking form returning mid-segment.
+    pub fn poll(
+        &mut self,
+        env: &dyn Env,
+        session: &mut QaSession<T>,
+        omega: &OmegaHandles,
+    ) -> Option<T::Resp> {
+        let p = session.pid();
+        loop {
+            match self.state {
+                CallState::Start => {
+                    if self.canonical {
+                        // 2: while LEADER = p do skip (canonical use).
+                        env.observe("phase", 0, 1);
+                        if omega.leader.get() == Some(p) {
+                            self.state = CallState::LeaderWait;
+                            return None;
+                        }
+                    }
+                    self.enter_competition(env, omega);
+                    return None;
+                }
+                CallState::LeaderWait => {
+                    if omega.leader.get() == Some(p) {
+                        return None;
+                    }
+                    self.enter_competition(env, omega);
+                    return None;
+                }
+                CallState::LoopHead => {
+                    // 6: if LEADER = p
+                    if omega.leader.get() != Some(p) {
+                        return None;
+                    }
+                    if self.canonical && !self.observed_applying {
+                        self.observed_applying = true;
+                        env.observe("phase", 0, 3);
+                    }
+                    // 7: res ← invoke(op', O_QA, T_QA)
+                    match self.next {
+                        NextInvocation::Op => session.begin_apply(self.op.clone()),
+                        NextInvocation::Query => session.begin_query(),
+                    }
+                    self.state = CallState::OpInFlight;
+                    // The invocation's first segment runs here, in the
+                    // same segment that started it.
+                }
+                CallState::OpInFlight => {
+                    match session.poll_op(env)? {
+                        // 8: normal response ⇒ stop competing and return.
+                        Outcome::Done(v) => {
+                            if self.canonical {
+                                set_candidate(env, omega, false);
+                            }
+                            return Some(v);
+                        }
+                        // 9: ⊥ ⇒ ask about the fate of op.
+                        Outcome::Bot => self.next = NextInvocation::Query,
+                        // 10: F ⇒ op did not take effect; try it again.
+                        Outcome::NoEffect => self.next = NextInvocation::Op,
+                    }
+                    self.state = CallState::LoopHead;
+                    return None;
+                }
+            }
+        }
+    }
+}
+
 /// Executes `op` on the TBWF object (Figure 7, lines 1–10). Blocks (in
 /// simulation steps) until the operation completes; a timely caller always
 /// returns in finitely many of its own steps.
@@ -66,44 +187,12 @@ pub fn invoke_tbwf<T: ObjectType>(
     omega: &OmegaHandles,
     op: T::Op,
 ) -> SimResult<T::Resp> {
-    let p = session.pid();
-    // 2: while LEADER = p do skip   (canonical use of Ω∆)
-    env.observe("phase", 0, 1);
-    while omega.leader.get() == Some(p) {
-        env.tick()?;
-    }
-    // 3: CANDIDATE ← true
-    set_candidate(env, omega, true);
-    // 4: op' ← op
-    let mut next = NextInvocation::Op;
-    // 5: repeat forever
-    env.observe("phase", 0, 2);
-    let mut observed_applying = false;
+    let mut call = TbwfCall::new(op, true);
     loop {
-        env.tick()?;
-        // 6: if LEADER = p
-        if omega.leader.get() == Some(p) {
-            if !observed_applying {
-                observed_applying = true;
-                env.observe("phase", 0, 3);
-            }
-            // 7: res ← invoke(op', O_QA, T_QA)
-            let res = match next {
-                NextInvocation::Op => session.apply(env, op.clone())?,
-                NextInvocation::Query => session.query(env)?,
-            };
-            match res {
-                // 8: normal response ⇒ stop competing and return.
-                Outcome::Done(v) => {
-                    set_candidate(env, omega, false);
-                    return Ok(v);
-                }
-                // 9: ⊥ ⇒ ask about the fate of op.
-                Outcome::Bot => next = NextInvocation::Query,
-                // 10: F ⇒ op did not take effect; try it again.
-                Outcome::NoEffect => next = NextInvocation::Op,
-            }
+        if let Some(v) = call.poll(env, session, omega) {
+            return Ok(v);
         }
+        env.tick()?;
     }
 }
 
@@ -121,25 +210,13 @@ pub fn invoke_tbwf_non_canonical<T: ObjectType>(
     omega: &OmegaHandles,
     op: T::Op,
 ) -> SimResult<T::Resp> {
-    set_candidate(env, omega, true);
-    let p = session.pid();
-    let mut next = NextInvocation::Op;
+    // Note: candidate stays true after a response — the monopolist never
+    // yields leadership.
+    let mut call = TbwfCall::new(op, false);
     loop {
-        env.tick()?;
-        if omega.leader.get() == Some(p) {
-            let res = match next {
-                NextInvocation::Op => session.apply(env, op.clone())?,
-                NextInvocation::Query => session.query(env)?,
-            };
-            match res {
-                Outcome::Done(v) => {
-                    // Note: candidate stays true — the monopolist never
-                    // yields leadership.
-                    return Ok(v);
-                }
-                Outcome::Bot => next = NextInvocation::Query,
-                Outcome::NoEffect => next = NextInvocation::Op,
-            }
+        if let Some(v) = call.poll(env, session, omega) {
+            return Ok(v);
         }
+        env.tick()?;
     }
 }

@@ -1,0 +1,284 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The workspace builds without network access, so the real crates-io
+//! `criterion` is replaced by this shim. Bench sources keep their exact
+//! call-site syntax (`criterion_group!`/`criterion_main!`, benchmark
+//! groups, `BenchmarkId`, `Bencher::iter`); measurement is a plain
+//! wall-clock mean over a time budget — no warm-up modeling, outlier
+//! analysis, or HTML reports. Passing `--quick` (or setting the
+//! `CRITERION_QUICK` env var) runs every benchmark for exactly one
+//! timed iteration, which is what CI smoke runs use.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Runs closures under timing; handed to every benchmark function.
+pub struct Bencher {
+    quick: bool,
+    budget: Duration,
+    /// (iterations, total elapsed) of the last `iter` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly until the measurement budget is
+    /// spent (or exactly once in `--quick` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warm-up run (also a correctness smoke of `f`).
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if self.quick || elapsed >= self.budget {
+                self.result = Some((iters, elapsed));
+                return;
+            }
+        }
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(name: &str, quick: bool, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        quick,
+        budget,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, total)) => {
+            let mean = total / (iters.max(1) as u32);
+            println!(
+                "{name:<40} time: {:>12}/iter  ({iters} iter in {})",
+                fmt_time(mean),
+                fmt_time(total)
+            );
+        }
+        None => println!("{name:<40} (no measurement: bencher never called iter)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim does not resample.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+
+    /// Accepted for compatibility; the shim prints per-iteration time
+    /// only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.criterion.quick,
+            self.budget,
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.id),
+            self.criterion.quick,
+            self.budget,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op beyond symmetry with upstream).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+    default_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick =
+            args.iter().any(|a| a == "--quick") || std::env::var_os("CRITERION_QUICK").is_some();
+        Criterion {
+            quick,
+            default_budget: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI filters here; the shim already read the args
+    /// it honors (`--quick`) in `Default`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            budget: self.default_budget,
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.quick, self.default_budget, f);
+        self
+    }
+}
+
+/// Throughput annotation (accepted, ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_exactly_one_timed_iteration() {
+        let mut b = Bencher {
+            quick: true,
+            budget: Duration::from_secs(10),
+            result: None,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        // 1 warm-up + 1 timed.
+        assert_eq!(calls, 2);
+        assert_eq!(b.result.unwrap().0, 1);
+    }
+
+    #[test]
+    fn budget_mode_runs_until_budget() {
+        let mut b = Bencher {
+            quick: false,
+            budget: Duration::from_millis(5),
+            result: None,
+        };
+        b.iter(|| std::hint::black_box(1 + 1));
+        let (iters, total) = b.result.unwrap();
+        assert!(iters >= 1);
+        assert!(total >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

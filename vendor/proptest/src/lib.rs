@@ -1,0 +1,257 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The workspace builds without network access, so the real crates-io
+//! `proptest` is replaced by this shim. It keeps the call-site syntax the
+//! workspace's property tests use — the `proptest!` macro with an
+//! optional `#![proptest_config(...)]` line, range/tuple/`Just`
+//! strategies, `prop_map`, `prop_oneof!`, `prop::collection::{vec,
+//! btree_set}`, `prop::bool::ANY`, and the `prop_assert*`/`prop_assume!`
+//! macros — but generation is plainly seeded (deterministic per test
+//! name) and failing cases are **not shrunk**: the failing input is
+//! printed as-is. `.proptest-regressions` files are ignored.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+use std::fmt;
+
+/// Per-test configuration (shim: only `cases` is meaningful).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The upstream default is 256; the shim halves it because every
+        // case here drives a whole simulator run in some suites.
+        ProptestConfig { cases: 128 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the input; the case is retried, not failed.
+    Reject(String),
+    /// A `prop_assert*` failed; the whole property fails.
+    Fail(String),
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type each generated case evaluates to.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic case-seed derivation: FNV-1a over the test name.
+#[doc(hidden)]
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs one property: generates up to `cases` accepted inputs and
+/// evaluates `case` on each. Panics (failing the `#[test]`) on the first
+/// `Fail`, printing the offending input.
+#[doc(hidden)]
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut strategy::TestRng) -> TestCaseResult,
+{
+    let mut rng = strategy::TestRng::new(seed_for(name));
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(10).max(100);
+    while accepted < config.cases {
+        attempts += 1;
+        if attempts > max_attempts {
+            panic!(
+                "property {name}: gave up after {attempts} attempts \
+                 ({accepted}/{} cases accepted) — prop_assume! rejects too much",
+                config.cases
+            );
+        }
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property {name} failed after {accepted} passing cases: {msg}")
+            }
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection`, `prop::bool`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{btree_set, vec};
+    }
+    /// Boolean strategies.
+    pub mod bool {
+        pub use crate::strategy::BoolAny;
+        /// Uniformly random booleans.
+        pub const ANY: BoolAny = BoolAny;
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh input) unless `cond`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must share a value
+/// type). The upstream weighted form (`w => strategy`) is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(::std::boxed::Box::new($strat)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), &config, |rng| {
+                    // Shown on failure: no shrinking, print the raw inputs.
+                    let mut inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let generated =
+                            $crate::strategy::Strategy::generate(&($strat), rng);
+                        inputs.push(format!(
+                            "{} = {:?}", stringify!($pat), &generated
+                        ));
+                        let $pat = generated;
+                    )+
+                    let run = || -> $crate::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        return ::std::result::Result::Ok(());
+                    };
+                    run().map_err(|e| match e {
+                        $crate::TestCaseError::Fail(msg) => $crate::TestCaseError::Fail(
+                            format!("{msg}\n  inputs: {}", inputs.join(", ")),
+                        ),
+                        reject => reject,
+                    })
+                });
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

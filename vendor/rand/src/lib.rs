@@ -1,0 +1,247 @@
+//! Offline drop-in subset of the `rand` 0.9 API.
+//!
+//! The workspace builds without network access, so the real crates-io
+//! `rand` is replaced by this shim. It provides the slice of the API the
+//! workspace uses — [`Rng`] with `random`/`random_range`/`random_bool`,
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`] — with the same
+//! call-site syntax. The generator is xoshiro256++ seeded through
+//! SplitMix64; sequences are deterministic and stable across platforms
+//! (which is all the simulator needs), but they are **not** the upstream
+//! `StdRng` (ChaCha12) sequences.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random value sampled from the "standard" distribution of its type.
+///
+/// Shim counterpart of `rand::distr::StandardUniform` sampling; only the
+/// types the workspace draws via [`Rng::random`] are implemented.
+pub trait Standard: Sized {
+    /// Samples one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range type that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Samples one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Unbiased bounded integer sampling via rejection on the top multiple of
+// `span` (Lemire-style masking would also do; simplicity wins here).
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % span;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u: f64 = Standard::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// User-facing random-value methods (shim of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit source every other method is derived from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value from the standard distribution of `T`.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p = {p} not a probability");
+        let u: f64 = Standard::sample(self);
+        u < p
+    }
+}
+
+/// RNGs constructible from a seed (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++ seeded via SplitMix64.
+    ///
+    /// Deterministic and platform-stable; not the upstream ChaCha12
+    /// sequence (see the crate docs).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..10).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 10);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: usize = r.random_range(0..5);
+            assert!(x < 5);
+            let y: i64 = r.random_range(-3..=3);
+            assert!((-3..=3).contains(&y));
+            let f: f64 = r.random_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = r.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+        assert!((0..100).all(|_| !r.random_bool(0.0)));
+    }
+
+    #[test]
+    fn single_value_ranges() {
+        let mut r = StdRng::seed_from_u64(3);
+        let x: u64 = r.random_range(5..6);
+        assert_eq!(x, 5);
+        let y: u64 = r.random_range(5..=5);
+        assert_eq!(y, 5);
+    }
+}
