@@ -1,0 +1,212 @@
+//! **E12 — the degradation gauntlet** (robustness of the whole
+//! reproduction; Sections 1.1 and 3, Definitions 5 and 9, Figure 7).
+//!
+//! Seeded randomized fault campaigns — crashes (timed, leader-aimed,
+//! mid-register-operation), temporary demotions and flickers, candidacy
+//! churn, register-adversary dial bursts — against four systems: the
+//! activity-monitor mesh, both Ω∆ implementations, and the full TBWF
+//! transform. After each campaign the paper's invariants are checked
+//! post-stabilization; any violation is shrunk to a 1-minimal fault plan
+//! (ddmin) and written to `results/` as a self-contained repro artifact.
+//!
+//! The run ends with the *ablation* demonstration: self-punishment
+//! (Figure 3 lines 7–8) disabled plus post-settle candidacy churn
+//! produces a quiescence violation, whose shrunken artifact lands in
+//! `results/e12_ablation_repro.json` — the shrinker proven on a real
+//! violation, not just asserted idle.
+//!
+//! ```text
+//! e12_gauntlet [--campaigns N] [--skip-ablation] [--repro FILE]
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+use tbwf_bench::gauntlet::{
+    ablation_scenario, artifact_json, random_scenario, run_scenario, scenario_from_artifact,
+    shrink, write_artifact, SystemKind,
+};
+use tbwf_bench::print_table;
+
+const RESULTS_DIR: &str = "results";
+
+fn repro(path: &str) -> ExitCode {
+    let sc = match scenario_from_artifact(Path::new(path)) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("cannot load artifact: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "replaying {}: kind = {}, seed = {}, n = {}, {} fault events",
+        path,
+        sc.kind.name(),
+        sc.seed,
+        sc.n,
+        sc.plan.events.len()
+    );
+    let out = run_scenario(&sc);
+    for inj in &out.injections {
+        println!("  injected: {inj}");
+    }
+    if out.violations.is_empty() {
+        println!("no violations — the artifact does not reproduce here");
+        ExitCode::FAILURE
+    } else {
+        for v in &out.violations {
+            println!("  violation [{}]: {}", v.invariant, v.detail);
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+fn campaigns(total: usize) -> usize {
+    let per_kind = total.div_ceil(SystemKind::ALL.len());
+    println!(
+        "E12: degradation gauntlet, {} campaigns per system kind ({} total)\n",
+        per_kind,
+        per_kind * SystemKind::ALL.len()
+    );
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for kind in SystemKind::ALL {
+        let mut injected = 0usize;
+        let mut events = 0usize;
+        let mut violated = 0usize;
+        for i in 0..per_kind {
+            let sc = random_scenario(kind, 0xE12_000 + i as u64);
+            let out = run_scenario(&sc);
+            injected += out.injections.len();
+            events += sc.plan.events.len();
+            if !out.violations.is_empty() {
+                violated += 1;
+                failures += 1;
+                eprintln!(
+                    "VIOLATION in {} seed {}: {:?}",
+                    kind.name(),
+                    sc.seed,
+                    out.violations
+                        .iter()
+                        .map(|v| v.invariant.as_str())
+                        .collect::<Vec<_>>()
+                );
+                // Shrink and persist a repro artifact for the failure.
+                let min = shrink(&sc);
+                let min_out = run_scenario(&min);
+                let stem = format!("e12_violation_{}_{}", kind.name(), sc.seed);
+                match write_artifact(
+                    Path::new(RESULTS_DIR),
+                    &stem,
+                    &artifact_json(&min, &min_out),
+                ) {
+                    Ok(p) => eprintln!(
+                        "  shrunk {} -> {} events, artifact: {}",
+                        sc.plan.events.len(),
+                        min.plan.events.len(),
+                        p.display()
+                    ),
+                    Err(e) => eprintln!("  cannot write artifact: {e}"),
+                }
+            }
+        }
+        rows.push(vec![
+            kind.name().to_string(),
+            per_kind.to_string(),
+            events.to_string(),
+            injected.to_string(),
+            violated.to_string(),
+        ]);
+    }
+    print_table(
+        &["system", "campaigns", "planned", "fired", "violations"],
+        &rows,
+    );
+    failures
+}
+
+fn ablation() -> Result<(), String> {
+    println!("\nablation: self-punishment disabled + post-settle candidacy churn");
+    let sc = ablation_scenario(0xAB1A);
+    let out = run_scenario(&sc);
+    if out.violations.is_empty() {
+        return Err("ablation produced no violation — the gauntlet is blind".into());
+    }
+    for v in &out.violations {
+        println!("  violation [{}]: {}", v.invariant, v.detail);
+    }
+    let min = shrink(&sc);
+    let min_out = run_scenario(&min);
+    println!(
+        "  shrunk fault plan: {} -> {} events",
+        sc.plan.events.len(),
+        min.plan.events.len()
+    );
+    if min.plan.events.is_empty() || min.plan.events.len() > 5 {
+        return Err(format!(
+            "shrunken plan has {} events, expected 1..=5",
+            min.plan.events.len()
+        ));
+    }
+    if min_out.violations.is_empty() {
+        return Err("shrunken plan no longer reproduces".into());
+    }
+    let path = write_artifact(
+        Path::new(RESULTS_DIR),
+        "e12_ablation_repro",
+        &artifact_json(&min, &min_out),
+    )
+    .map_err(|e| format!("cannot write artifact: {e}"))?;
+    println!("  repro artifact: {}", path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut total = 240usize;
+    let mut run_ablation = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--campaigns" => {
+                i += 1;
+                total = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--campaigns needs a number");
+            }
+            "--skip-ablation" => run_ablation = false,
+            "--repro" => {
+                i += 1;
+                let path = args.get(i).expect("--repro needs a file");
+                return repro(path);
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let failures = campaigns(total);
+    let mut ok = failures == 0;
+    if failures > 0 {
+        eprintln!("\n{failures} campaign(s) violated an invariant");
+    } else {
+        println!("\nall campaigns passed");
+    }
+    if run_ablation {
+        match ablation() {
+            Ok(()) => println!("ablation detected and shrunk as expected"),
+            Err(e) => {
+                eprintln!("ablation FAILED: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

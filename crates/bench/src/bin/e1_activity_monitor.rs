@@ -109,6 +109,7 @@ fn run_one(mon: InputScript, act: InputScript, beh: QBehavior, steps: u64) -> Pa
         max_steps: steps,
         crashes: Vec::new(),
         schedule,
+        nemesis: None,
     };
     if matches!(beh, QBehavior::Crash) {
         config = config.crash(steps / 4, ProcId(1));

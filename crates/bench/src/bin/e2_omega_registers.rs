@@ -123,6 +123,7 @@ fn main() {
                 max_steps: steps,
                 crashes: Vec::new(),
                 schedule: (sc.schedule)(n),
+                nemesis: None,
             };
             if let Some((t, p)) = sc.crash {
                 run = run.crash(t, p);

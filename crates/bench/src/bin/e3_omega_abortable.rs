@@ -58,6 +58,7 @@ fn main() {
                     max_steps: steps,
                     crashes: Vec::new(),
                     schedule,
+                    nemesis: None,
                 };
                 if let Some((t, p)) = crash {
                     run = run.crash(t, p);

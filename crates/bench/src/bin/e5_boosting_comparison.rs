@@ -57,6 +57,7 @@ fn main() {
                     max_steps: steps,
                     crashes: Vec::new(),
                     schedule,
+                    nemesis: None,
                 },
             );
             out.report.assert_no_panics();

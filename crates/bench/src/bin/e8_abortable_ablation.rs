@@ -110,6 +110,7 @@ fn heartbeat_detector(slow_writer: bool, two_regs: bool, steps: u64) -> (u64, u6
         max_steps: steps,
         crashes: Vec::new(),
         schedule,
+        nemesis: None,
     });
     report.assert_no_panics();
     let timely = report

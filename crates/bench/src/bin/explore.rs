@@ -72,6 +72,7 @@ fn main() {
             max_steps: steps,
             crashes: Vec::new(),
             schedule,
+            nemesis: None,
         });
     run.report.assert_no_panics();
 

@@ -2,6 +2,8 @@
 //! benches. See `EXPERIMENTS.md` at the workspace root for the mapping
 //! from experiments to paper claims.
 
+pub mod gauntlet;
+
 /// Prints an aligned text table.
 pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

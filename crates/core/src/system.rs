@@ -246,7 +246,27 @@ impl<T: ObjectType> TbwfSystemBuilder<T> {
 
     /// Builds the system and executes the run.
     pub fn run(self, run: RunConfig) -> TbwfRun<T> {
+        self.run_wired(run, |_, _| {})
+    }
+
+    /// Like [`TbwfSystemBuilder::run`], but calls `wire` with the
+    /// register factory and the run configuration after the system is
+    /// assembled and before the run starts.
+    ///
+    /// This is the fault-injection hook: the factory is created
+    /// internally by the builder, so a nemesis that wants to register
+    /// the factory's policy dial or in-flight gauges (see
+    /// [`tbwf_registers::RegisterFactory::policy_dial`] and
+    /// [`tbwf_registers::RegisterFactory::inflight_gauge`]) has no other
+    /// way to reach them.
+    pub fn run_wired(
+        self,
+        run: RunConfig,
+        wire: impl FnOnce(&RegisterFactory, &mut RunConfig),
+    ) -> TbwfRun<T> {
+        let mut run = run;
         let factory = Arc::new(RegisterFactory::new(self.factory));
+        wire(&factory, &mut run);
         let mut b = SimBuilder::new();
         for p in 0..self.n {
             b.add_process(&format!("p{p}"));

@@ -144,6 +144,50 @@ impl Stepper for CanonicalBlinkDriver {
     }
 }
 
+/// Poll-driven driver whose desired candidacy is an externally shared
+/// flag rather than a time script: every step it copies the flag into
+/// `candidate_p`. A nemesis flips the flag via a registered switch to
+/// realize *fault-driven* candidacy churn.
+struct ExternalDriver {
+    desired: Local<bool>,
+    candidate: Local<bool>,
+    started: bool,
+}
+
+impl Stepper for ExternalDriver {
+    fn step(&mut self, ctx: &mut StepCtx<'_>) -> Control {
+        let env = ctx.env();
+        if !self.started {
+            self.started = true;
+            env.observe(OBS_CANDIDATE, 0, self.candidate.get() as i64);
+        }
+        set_candidate(env, &self.candidate, self.desired.get());
+        Control::Yield
+    }
+}
+
+/// Adds a driver task for process `pid` whose candidacy follows a shared
+/// *desired* flag (initially `initial`) instead of a time script.
+///
+/// Returns the flag; register it as a nemesis switch so `SetSwitch`
+/// fault actions churn the process's candidacy mid-run. Changes take
+/// effect on the driver's next step, like every scripted transition.
+pub fn add_external_candidate_driver(
+    spawner: &mut dyn TaskSpawner,
+    pid: ProcId,
+    handles: &OmegaHandles,
+    initial: bool,
+) -> Local<bool> {
+    let desired = Local::new(initial);
+    let stepper = ExternalDriver {
+        desired: desired.clone(),
+        candidate: handles.candidate.clone(),
+        started: false,
+    };
+    spawner.spawn_stepper(pid, "candidacy", Box::new(stepper));
+    desired
+}
+
 /// Adds a driver task for process `pid` that follows `script`, observing
 /// every change of `candidate_p` into the trace.
 ///

@@ -2,19 +2,55 @@
 //! detection, and the three register kinds built on it.
 
 use crate::outcome::{ReadOutcome, WriteOutcome};
-use crate::policy::{AbortPolicy, EffectPolicy};
+use crate::policy::{AbortPolicy, EffectPolicy, PolicyDial};
 use crate::stats::{OpEvent, OpKind, OpLog};
 use crate::{AbortableRegister, AtomicRegister, OpToken, SafeRegister};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use tbwf_sim::{Env, ProcId, SimResult};
+
+/// Per-process counters of operations currently in flight (invoked but
+/// not yet completed) across all registers of one factory.
+///
+/// The cells are plain shared integers so a nemesis can watch one as a
+/// gauge: `inflight[p] ≥ 1` holds exactly between `invoke_` and
+/// `complete_` of an operation by `p`, which is the window a
+/// crash-mid-operation injection targets.
+#[derive(Default)]
+pub struct InflightGauges {
+    cells: Mutex<Vec<Arc<AtomicI64>>>,
+}
+
+impl InflightGauges {
+    /// Creates gauges with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared counter of process `p` (created on first use).
+    pub fn cell(&self, p: ProcId) -> Arc<AtomicI64> {
+        let mut cells = self.cells.lock();
+        while cells.len() <= p.0 {
+            cells.push(Arc::new(AtomicI64::new(0)));
+        }
+        Arc::clone(&cells[p.0])
+    }
+
+    fn add(&self, p: ProcId, delta: i64) {
+        self.cell(p).fetch_add(delta, Ordering::SeqCst);
+    }
+}
 
 /// An operation in flight between its invocation and response steps.
 struct Inflight<T> {
     id: u64,
     kind: OpKind,
+    /// The invoking process (its in-flight gauge is held until the
+    /// response step).
+    proc: ProcId,
     /// Set as soon as any other operation's interval overlaps this one.
     overlapped: bool,
     /// Whether the overlap involved a write (needed by safe registers).
@@ -37,6 +73,7 @@ pub(crate) struct RegCore<T> {
     name: String,
     state: Mutex<CoreState<T>>,
     log: Arc<OpLog>,
+    gauges: Arc<InflightGauges>,
 }
 
 /// What the core reports when an operation resolves.
@@ -53,7 +90,7 @@ struct Resolution<T> {
 }
 
 impl<T: Clone + Send> RegCore<T> {
-    fn new(name: String, init: T, seed: u64, log: Arc<OpLog>) -> Self {
+    fn new(name: String, init: T, seed: u64, log: Arc<OpLog>, gauges: Arc<InflightGauges>) -> Self {
         RegCore {
             name,
             state: Mutex::new(CoreState {
@@ -63,12 +100,40 @@ impl<T: Clone + Send> RegCore<T> {
                 rng: StdRng::seed_from_u64(seed),
             }),
             log,
+            gauges,
         }
     }
 
     /// Invocation step: register the in-flight op and mark overlaps.
-    fn begin(&self, kind: OpKind, invoked: u64, payload: Option<T>) -> u64 {
+    ///
+    /// Operations left pending by a crashed process are dropped first: a
+    /// crashed process takes no further steps, so its unfinished
+    /// operation cannot interfere with operations invoked after the
+    /// crash (its write never takes effect — the crash landed before the
+    /// linearization point). Without this, one crash mid-operation would
+    /// mark every later operation on the register as overlapped forever,
+    /// and an `AlwaysOnOverlap` abortable register would wedge all
+    /// survivors. Overlap marks already made by the dead operation stand:
+    /// operations genuinely concurrent with it before the crash may still
+    /// abort.
+    fn begin(
+        &self,
+        env: &dyn Env,
+        kind: OpKind,
+        proc: ProcId,
+        invoked: u64,
+        payload: Option<T>,
+    ) -> u64 {
         let mut st = self.state.lock();
+        let mut i = 0;
+        while i < st.inflight.len() {
+            if env.is_crashed(st.inflight[i].proc) {
+                let dead = st.inflight.remove(i);
+                self.gauges.add(dead.proc, -1);
+            } else {
+                i += 1;
+            }
+        }
         let id = st.next_id;
         st.next_id += 1;
         let any = !st.inflight.is_empty();
@@ -80,11 +145,13 @@ impl<T: Clone + Send> RegCore<T> {
         st.inflight.push(Inflight {
             id,
             kind,
+            proc,
             overlapped: any,
             overlapped_write: any_write,
             invoked,
             payload,
         });
+        self.gauges.add(proc, 1);
         id
     }
 
@@ -97,8 +164,13 @@ impl<T: Clone + Send> RegCore<T> {
             .position(|o| o.id == id)
             .expect("resolving unknown operation");
         let op = st.inflight.remove(pos);
+        // The adversary samples are always drawn, even when the current
+        // policy ignores them: policy-dial changes must not shift the
+        // per-register RNG stream, or shrinking a fault plan would
+        // perturb the rest of the run.
         let u_abort = st.rng.random::<f64>();
         let u_effect = st.rng.random::<f64>();
+        self.gauges.add(op.proc, -1);
         Resolution {
             overlapped: op.overlapped,
             overlapped_write: op.overlapped_write,
@@ -137,16 +209,25 @@ pub(crate) struct SimAtomicReg<T> {
 }
 
 impl<T: Clone + Send> SimAtomicReg<T> {
-    pub(crate) fn new(name: String, init: T, seed: u64, log: Arc<OpLog>) -> Self {
+    pub(crate) fn new(
+        name: String,
+        init: T,
+        seed: u64,
+        log: Arc<OpLog>,
+        gauges: Arc<InflightGauges>,
+    ) -> Self {
         SimAtomicReg {
-            core: RegCore::new(name, init, seed, log),
+            core: RegCore::new(name, init, seed, log, gauges),
         }
     }
 }
 
 impl<T: Clone + Send + Sync> AtomicRegister<T> for SimAtomicReg<T> {
     fn invoke_write(&self, env: &dyn Env, v: T) -> OpToken {
-        OpToken::new(self.core.begin(OpKind::Write, env.now(), Some(v)))
+        OpToken::new(
+            self.core
+                .begin(env, OpKind::Write, env.pid(), env.now(), Some(v)),
+        )
     }
 
     fn complete_write(&self, env: &dyn Env, tok: OpToken) {
@@ -158,7 +239,10 @@ impl<T: Clone + Send + Sync> AtomicRegister<T> for SimAtomicReg<T> {
     }
 
     fn invoke_read(&self, env: &dyn Env) -> OpToken {
-        OpToken::new(self.core.begin(OpKind::Read, env.now(), None))
+        OpToken::new(
+            self.core
+                .begin(env, OpKind::Read, env.pid(), env.now(), None),
+        )
     }
 
     fn complete_read(&self, env: &dyn Env, tok: OpToken) -> T {
@@ -175,6 +259,8 @@ pub(crate) struct SimAbortableReg<T> {
     core: RegCore<T>,
     abort_policy: AbortPolicy,
     effect_policy: EffectPolicy,
+    /// Run-wide override dial shared with the factory (and the nemesis).
+    dial: PolicyDial,
     /// If set, only this process may write (single-writer enforcement).
     writer: Option<ProcId>,
     /// If set, only this process may read (single-reader enforcement).
@@ -188,18 +274,27 @@ impl<T: Clone + Send> SimAbortableReg<T> {
         init: T,
         seed: u64,
         log: Arc<OpLog>,
+        gauges: Arc<InflightGauges>,
         abort_policy: AbortPolicy,
         effect_policy: EffectPolicy,
+        dial: PolicyDial,
         writer: Option<ProcId>,
         reader: Option<ProcId>,
     ) -> Self {
         SimAbortableReg {
-            core: RegCore::new(name, init, seed, log),
+            core: RegCore::new(name, init, seed, log, gauges),
             abort_policy,
             effect_policy,
+            dial,
             writer,
             reader,
         }
+    }
+
+    /// The abort/effect policies in force right now (base policies
+    /// possibly overridden by the dial).
+    fn policies(&self) -> (AbortPolicy, EffectPolicy) {
+        self.dial.resolve((self.abort_policy, self.effect_policy))
     }
 }
 
@@ -213,14 +308,18 @@ impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
                 self.core.name
             );
         }
-        OpToken::new(self.core.begin(OpKind::Write, env.now(), Some(v)))
+        OpToken::new(
+            self.core
+                .begin(env, OpKind::Write, env.pid(), env.now(), Some(v)),
+        )
     }
 
     fn complete_write(&self, env: &dyn Env, tok: OpToken) -> WriteOutcome {
         let res = self.core.resolve(tok.raw());
+        let (abort_policy, effect_policy) = self.policies();
         let v = res.payload.clone().expect("write resolved without payload");
-        if res.overlapped && self.abort_policy.aborts(res.u_abort) {
-            let effect = self.effect_policy.takes_effect(res.u_effect);
+        if res.overlapped && abort_policy.aborts(res.u_abort) {
+            let effect = effect_policy.takes_effect(res.u_effect);
             if effect {
                 self.core.state.lock().value = v;
             }
@@ -244,12 +343,16 @@ impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
                 self.core.name
             );
         }
-        OpToken::new(self.core.begin(OpKind::Read, env.now(), None))
+        OpToken::new(
+            self.core
+                .begin(env, OpKind::Read, env.pid(), env.now(), None),
+        )
     }
 
     fn complete_read(&self, env: &dyn Env, tok: OpToken) -> ReadOutcome<T> {
         let res = self.core.resolve(tok.raw());
-        if res.overlapped && self.abort_policy.aborts(res.u_abort) {
+        let (abort_policy, _) = self.policies();
+        if res.overlapped && abort_policy.aborts(res.u_abort) {
             self.core
                 .record(env, res.invoked, OpKind::Read, &res, true, false);
             ReadOutcome::Aborted
@@ -268,9 +371,15 @@ pub(crate) struct SimSafeReg {
 }
 
 impl SimSafeReg {
-    pub(crate) fn new(name: String, init: u64, seed: u64, log: Arc<OpLog>) -> Self {
+    pub(crate) fn new(
+        name: String,
+        init: u64,
+        seed: u64,
+        log: Arc<OpLog>,
+        gauges: Arc<InflightGauges>,
+    ) -> Self {
         SimSafeReg {
-            core: RegCore::new(name, init, seed, log),
+            core: RegCore::new(name, init, seed, log, gauges),
         }
     }
 }
@@ -278,7 +387,9 @@ impl SimSafeReg {
 impl SafeRegister for SimSafeReg {
     fn write(&self, env: &dyn Env, v: u64) -> SimResult<()> {
         let invoked = env.now();
-        let id = self.core.begin(OpKind::Write, invoked, None);
+        let id = self
+            .core
+            .begin(env, OpKind::Write, env.pid(), invoked, None);
         env.tick()?;
         let res = self.core.resolve(id);
         self.core.state.lock().value = v;
@@ -289,7 +400,7 @@ impl SafeRegister for SimSafeReg {
 
     fn read(&self, env: &dyn Env) -> SimResult<u64> {
         let invoked = env.now();
-        let id = self.core.begin(OpKind::Read, invoked, None);
+        let id = self.core.begin(env, OpKind::Read, env.pid(), invoked, None);
         env.tick()?;
         let res = self.core.resolve(id);
         let v = if res.overlapped_write {
@@ -313,10 +424,39 @@ mod tests {
         Arc::new(OpLog::new())
     }
 
+    fn gauges() -> Arc<InflightGauges> {
+        Arc::new(InflightGauges::new())
+    }
+
+    /// A free-running env that also reports a fixed set of crashed
+    /// processes, for exercising the pending-op purge in `begin`.
+    struct CrashyEnv {
+        inner: FreeRunEnv,
+        crashed: Vec<ProcId>,
+    }
+
+    impl Env for CrashyEnv {
+        fn tick(&self) -> SimResult<()> {
+            self.inner.tick()
+        }
+        fn now(&self) -> u64 {
+            self.inner.now()
+        }
+        fn pid(&self) -> ProcId {
+            self.inner.pid()
+        }
+        fn observe(&self, key: &'static str, idx: u32, value: i64) {
+            self.inner.observe(key, idx, value);
+        }
+        fn is_crashed(&self, p: ProcId) -> bool {
+            self.crashed.contains(&p)
+        }
+    }
+
     #[test]
     fn atomic_read_write_solo() {
         let env = FreeRunEnv::new(ProcId(0));
-        let r = SimAtomicReg::new("R".into(), 0i64, 1, log());
+        let r = SimAtomicReg::new("R".into(), 0i64, 1, log(), gauges());
         r.write(&env, 7).unwrap();
         assert_eq!(r.read(&env).unwrap(), 7);
     }
@@ -329,8 +469,10 @@ mod tests {
             0i64,
             1,
             log(),
+            gauges(),
             AbortPolicy::AlwaysOnOverlap,
             EffectPolicy::Never,
+            PolicyDial::new(),
             None,
             None,
         );
@@ -342,9 +484,10 @@ mod tests {
 
     #[test]
     fn overlap_detection_marks_both_ops() {
-        let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log());
-        let a = r.begin(OpKind::Read, 0, None);
-        let b = r.begin(OpKind::Write, 0, Some(1));
+        let env = FreeRunEnv::new(ProcId(0));
+        let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log(), gauges());
+        let a = r.begin(&env, OpKind::Read, ProcId(0), 0, None);
+        let b = r.begin(&env, OpKind::Write, ProcId(1), 0, Some(1));
         let ra = r.resolve(a);
         let rb = r.resolve(b);
         assert!(ra.overlapped);
@@ -355,10 +498,11 @@ mod tests {
 
     #[test]
     fn sequential_ops_do_not_overlap() {
-        let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log());
-        let a = r.begin(OpKind::Read, 0, None);
+        let env = FreeRunEnv::new(ProcId(0));
+        let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log(), gauges());
+        let a = r.begin(&env, OpKind::Read, ProcId(0), 0, None);
         let ra = r.resolve(a);
-        let b = r.begin(OpKind::Write, 1, Some(1));
+        let b = r.begin(&env, OpKind::Write, ProcId(0), 1, Some(1));
         let rb = r.resolve(b);
         assert!(!ra.overlapped);
         assert!(!rb.overlapped);
@@ -373,8 +517,10 @@ mod tests {
             0i64,
             1,
             log(),
+            gauges(),
             AbortPolicy::default(),
             EffectPolicy::default(),
+            PolicyDial::new(),
             Some(ProcId(0)),
             None,
         );
@@ -385,7 +531,7 @@ mod tests {
     fn ops_are_logged() {
         let env = FreeRunEnv::new(ProcId(2));
         let l = log();
-        let r = SimAtomicReg::new("Reg".into(), 0i64, 1, Arc::clone(&l));
+        let r = SimAtomicReg::new("Reg".into(), 0i64, 1, Arc::clone(&l), gauges());
         r.write(&env, 1).unwrap();
         r.read(&env).unwrap();
         let evs = l.events();
@@ -400,9 +546,102 @@ mod tests {
     #[test]
     fn safe_register_solo_reads_are_exact() {
         let env = FreeRunEnv::new(ProcId(0));
-        let r = SimSafeReg::new("S".into(), 9, 1, log());
+        let r = SimSafeReg::new("S".into(), 9, 1, log(), gauges());
         assert_eq!(r.read(&env).unwrap(), 9);
         r.write(&env, 11).unwrap();
         assert_eq!(r.read(&env).unwrap(), 11);
+    }
+
+    #[test]
+    fn inflight_gauge_tracks_invoke_to_complete_window() {
+        let g = gauges();
+        let r: RegCore<i64> = RegCore::new("R".into(), 0, 1, log(), Arc::clone(&g));
+        let env = FreeRunEnv::new(ProcId(2));
+        let cell = g.cell(ProcId(2));
+        assert_eq!(cell.load(Ordering::SeqCst), 0);
+        let a = r.begin(&env, OpKind::Write, ProcId(2), 0, Some(1));
+        assert_eq!(
+            cell.load(Ordering::SeqCst),
+            1,
+            "held between invoke and complete"
+        );
+        let b = r.begin(&env, OpKind::Read, ProcId(2), 0, None);
+        assert_eq!(cell.load(Ordering::SeqCst), 2);
+        r.resolve(a);
+        r.resolve(b);
+        assert_eq!(cell.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn crashed_pending_op_does_not_poison_later_ops() {
+        // p1 invokes a write and crashes before completing it. Under
+        // AlwaysOnOverlap, p0's next operations must still succeed: the
+        // dead pending op is purged at the next invocation and no longer
+        // counts as overlapping.
+        let g = gauges();
+        let r = SimAbortableReg::new(
+            "R".into(),
+            0i64,
+            1,
+            log(),
+            Arc::clone(&g),
+            AbortPolicy::AlwaysOnOverlap,
+            EffectPolicy::Never,
+            PolicyDial::new(),
+            None,
+            None,
+        );
+        let p1 = CrashyEnv {
+            inner: FreeRunEnv::new(ProcId(1)),
+            crashed: vec![],
+        };
+        let _dangling = r.invoke_write(&p1, 99); // never completed
+        let p0 = CrashyEnv {
+            inner: FreeRunEnv::new(ProcId(0)),
+            crashed: vec![ProcId(1)],
+        };
+        for i in 0..50 {
+            assert_eq!(r.write(&p0, i).unwrap(), WriteOutcome::Ok);
+            assert_eq!(r.read(&p0).unwrap(), ReadOutcome::Value(i));
+        }
+        // The dead op's gauge was released when it was purged, and the
+        // crashed write never took effect.
+        assert_eq!(g.cell(ProcId(1)).load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn dial_overrides_only_while_set() {
+        let env = FreeRunEnv::new(ProcId(0));
+        let dial = PolicyDial::new();
+        let r = SimAbortableReg::new(
+            "R".into(),
+            0i64,
+            1,
+            log(),
+            gauges(),
+            AbortPolicy::Never,
+            EffectPolicy::Never,
+            dial.clone(),
+            None,
+            None,
+        );
+        // Overlapped ops under the base Never policy do not abort.
+        let t1 = r.invoke_write(&env, 1);
+        let t2 = r.invoke_write(&env, 2);
+        assert_eq!(r.complete_write(&env, t1), WriteOutcome::Ok);
+        assert_eq!(r.complete_write(&env, t2), WriteOutcome::Ok);
+        // Under the storm mode they abort (and the writes take effect).
+        dial.set(crate::policy::DIAL_ABORT_STORM);
+        let t1 = r.invoke_write(&env, 3);
+        let t2 = r.invoke_write(&env, 4);
+        assert_eq!(r.complete_write(&env, t1), WriteOutcome::Aborted);
+        assert_eq!(r.complete_write(&env, t2), WriteOutcome::Aborted);
+        assert_eq!(r.read(&env).unwrap(), ReadOutcome::Value(4));
+        // Back to base: Never again.
+        dial.set(crate::policy::DIAL_BASE);
+        let t1 = r.invoke_write(&env, 5);
+        let t2 = r.invoke_write(&env, 6);
+        assert_eq!(r.complete_write(&env, t1), WriteOutcome::Ok);
+        assert_eq!(r.complete_write(&env, t2), WriteOutcome::Ok);
     }
 }

@@ -1,11 +1,11 @@
 //! The register factory: creates named, logged, seeded registers for one
 //! run.
 
-use crate::core_reg::{SimAbortableReg, SimAtomicReg, SimSafeReg};
-use crate::policy::{AbortPolicy, EffectPolicy};
+use crate::core_reg::{InflightGauges, SimAbortableReg, SimAtomicReg, SimSafeReg};
+use crate::policy::{AbortPolicy, EffectPolicy, PolicyDial};
 use crate::stats::OpLog;
 use crate::{SafeRegister, SharedAbortable, SharedAtomic};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use tbwf_sim::ProcId;
 
@@ -49,6 +49,8 @@ pub struct RegisterFactory {
     config: RegisterFactoryConfig,
     log: Arc<OpLog>,
     counter: AtomicU64,
+    dial: PolicyDial,
+    gauges: Arc<InflightGauges>,
 }
 
 impl RegisterFactory {
@@ -58,6 +60,8 @@ impl RegisterFactory {
             config,
             log: Arc::new(OpLog::new()),
             counter: AtomicU64::new(0),
+            dial: PolicyDial::new(),
+            gauges: Arc::new(InflightGauges::new()),
         }
     }
 
@@ -69,6 +73,8 @@ impl RegisterFactory {
             config,
             log: Arc::new(OpLog::disabled()),
             counter: AtomicU64::new(0),
+            dial: PolicyDial::new(),
+            gauges: Arc::new(InflightGauges::new()),
         }
     }
 
@@ -80,6 +86,20 @@ impl RegisterFactory {
     /// The factory configuration.
     pub fn config(&self) -> RegisterFactoryConfig {
         self.config
+    }
+
+    /// The run-wide policy-override dial shared by every abortable
+    /// register of this factory (register its [`PolicyDial::handle`]
+    /// with a nemesis to inject register fault bursts).
+    pub fn policy_dial(&self) -> PolicyDial {
+        self.dial.clone()
+    }
+
+    /// The in-flight-operation gauge of process `p` across all registers
+    /// of this factory (register it with a nemesis to crash `p` between
+    /// `invoke_` and `complete_` of an operation).
+    pub fn inflight_gauge(&self, p: ProcId) -> Arc<AtomicI64> {
+        self.gauges.cell(p)
     }
 
     fn next_seed(&self) -> u64 {
@@ -98,6 +118,7 @@ impl RegisterFactory {
             init,
             self.next_seed(),
             self.log(),
+            Arc::clone(&self.gauges),
         ))
     }
 
@@ -112,8 +133,10 @@ impl RegisterFactory {
             init,
             self.next_seed(),
             self.log(),
+            Arc::clone(&self.gauges),
             self.config.abort_policy,
             self.config.effect_policy,
+            self.dial.clone(),
             None,
             None,
         ))
@@ -134,8 +157,10 @@ impl RegisterFactory {
             init,
             self.next_seed(),
             self.log(),
+            Arc::clone(&self.gauges),
             self.config.abort_policy,
             self.config.effect_policy,
+            self.dial.clone(),
             Some(writer),
             Some(reader),
         ))
@@ -154,8 +179,10 @@ impl RegisterFactory {
             init,
             self.next_seed(),
             self.log(),
+            Arc::clone(&self.gauges),
             self.config.abort_policy,
             self.config.effect_policy,
+            self.dial.clone(),
             Some(writer),
             None,
         ))
@@ -168,6 +195,7 @@ impl RegisterFactory {
             init,
             self.next_seed(),
             self.log(),
+            Arc::clone(&self.gauges),
         ))
     }
 

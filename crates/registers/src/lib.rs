@@ -50,9 +50,13 @@ mod policy;
 pub mod stats;
 
 pub use cas::{CasRegister, SharedCas};
+pub use core_reg::InflightGauges;
 pub use factory::{RegisterFactory, RegisterFactoryConfig};
 pub use outcome::{ReadOutcome, WriteOutcome};
-pub use policy::{AbortPolicy, EffectPolicy};
+pub use policy::{
+    AbortPolicy, EffectPolicy, PolicyDial, DIAL_ABORT_NO_EFFECT, DIAL_ABORT_STORM, DIAL_BASE,
+    DIAL_CALM,
+};
 pub use stats::{OpEvent, OpKind, OpLog};
 
 use std::sync::Arc;

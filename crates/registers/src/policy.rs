@@ -5,6 +5,17 @@
 //! when. The choice is therefore adversarial, and these policies let a run
 //! pick its adversary. All randomness is seeded per register, so runs are
 //! reproducible.
+//!
+//! A [`PolicyDial`] lets the adversary *change mid-run*: the nemesis
+//! turns the dial to one of the [`DIAL_BASE`]/[`DIAL_ABORT_STORM`]/
+//! [`DIAL_CALM`]/[`DIAL_ABORT_NO_EFFECT`] modes and every abortable
+//! register of the factory immediately follows. All modes stay within
+//! the abortable specification — only *overlapped* operations ever
+//! abort, so a fault burst can never violate the register's contract,
+//! it can only exercise the admissible adversary harder.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// When does an operation that overlapped another operation abort?
 #[derive(Clone, Copy, PartialEq, Debug, Default)]
@@ -70,9 +81,97 @@ impl EffectPolicy {
     }
 }
 
+/// Dial mode: use the policies the factory was configured with.
+pub const DIAL_BASE: i64 = 0;
+/// Dial mode: every overlapped operation aborts and every aborted write
+/// takes effect — the strongest admissible adversary.
+pub const DIAL_ABORT_STORM: i64 = 1;
+/// Dial mode: nothing aborts — the registers behave atomically.
+pub const DIAL_CALM: i64 = 2;
+/// Dial mode: every overlapped operation aborts and no aborted write
+/// takes effect.
+pub const DIAL_ABORT_NO_EFFECT: i64 = 3;
+
+/// A run-wide override knob for the abort/effect policies of every
+/// abortable register created by one factory.
+///
+/// Cloning yields another handle to the same dial. The raw handle
+/// ([`PolicyDial::handle`]) can be registered with a nemesis as a dial
+/// named in `SetDial` fault actions; unknown values behave like
+/// [`DIAL_BASE`].
+#[derive(Clone, Default)]
+pub struct PolicyDial {
+    mode: Arc<AtomicI64>,
+}
+
+impl PolicyDial {
+    /// Creates a dial in [`DIAL_BASE`] mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current mode.
+    pub fn mode(&self) -> i64 {
+        self.mode.load(Ordering::SeqCst)
+    }
+
+    /// Sets the mode.
+    pub fn set(&self, mode: i64) {
+        self.mode.store(mode, Ordering::SeqCst);
+    }
+
+    /// The shared cell behind the dial (for nemesis registration).
+    pub fn handle(&self) -> Arc<AtomicI64> {
+        Arc::clone(&self.mode)
+    }
+
+    /// The effective policies under the current mode, given the
+    /// factory-configured base policies.
+    pub fn resolve(&self, base: (AbortPolicy, EffectPolicy)) -> (AbortPolicy, EffectPolicy) {
+        match self.mode() {
+            DIAL_ABORT_STORM => (AbortPolicy::AlwaysOnOverlap, EffectPolicy::Always),
+            DIAL_CALM => (AbortPolicy::Never, EffectPolicy::Never),
+            DIAL_ABORT_NO_EFFECT => (AbortPolicy::AlwaysOnOverlap, EffectPolicy::Never),
+            _ => base,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dial_modes_resolve() {
+        let dial = PolicyDial::new();
+        let base = (AbortPolicy::Never, EffectPolicy::Never);
+        assert_eq!(dial.resolve(base), base);
+        dial.set(DIAL_ABORT_STORM);
+        assert_eq!(
+            dial.resolve(base),
+            (AbortPolicy::AlwaysOnOverlap, EffectPolicy::Always)
+        );
+        dial.set(DIAL_CALM);
+        assert_eq!(
+            dial.resolve(base),
+            (AbortPolicy::Never, EffectPolicy::Never)
+        );
+        dial.set(DIAL_ABORT_NO_EFFECT);
+        assert_eq!(
+            dial.resolve(base),
+            (AbortPolicy::AlwaysOnOverlap, EffectPolicy::Never)
+        );
+        dial.set(99);
+        assert_eq!(dial.resolve(base), base, "unknown modes fall back to base");
+    }
+
+    #[test]
+    fn dial_clones_share_state() {
+        let dial = PolicyDial::new();
+        let other = dial.clone();
+        other.handle().store(DIAL_CALM, Ordering::SeqCst);
+        assert_eq!(dial.mode(), DIAL_CALM);
+    }
 
     #[test]
     fn always_policy_always_aborts() {

@@ -4,8 +4,41 @@ use crate::gate::Gate;
 use crate::halt::SimResult;
 use crate::ids::{ProcId, TaskId};
 use crate::trace::{ObsBuf, TraceSink};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Shared crash flags: one bit per process, set by the runner the moment
+/// a crash (from the static plan or a nemesis injection) takes effect.
+///
+/// Registers consult these through [`Env::is_crashed`]: a crashed
+/// process takes no further steps, so its pending operations can no
+/// longer interfere with operations invoked after the crash (see
+/// `RegCore` in `tbwf-registers`). Out-of-range ids read as not crashed.
+#[derive(Debug, Default)]
+pub struct CrashFlags {
+    bits: Vec<AtomicBool>,
+}
+
+impl CrashFlags {
+    /// Creates flags for `n` processes, all alive.
+    pub fn new(n: usize) -> Self {
+        CrashFlags {
+            bits: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Marks `p` as crashed (idempotent).
+    pub fn set(&self, p: ProcId) {
+        if let Some(b) = self.bits.get(p.0) {
+            b.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Whether `p` has crashed.
+    pub fn get(&self, p: ProcId) -> bool {
+        self.bits.get(p.0).is_some_and(|b| b.load(Ordering::SeqCst))
+    }
+}
 
 /// The interface between algorithm code and its runtime.
 ///
@@ -40,6 +73,15 @@ pub trait Env: Send + Sync {
     /// the observed value (conventions such as `? == -1` are documented at
     /// the observation sites).
     fn observe(&self, key: &'static str, idx: u32, value: i64);
+
+    /// Whether process `p` has crashed in this run.
+    ///
+    /// Simulator environments report the runner's [`CrashFlags`];
+    /// environments with no crash model (free-running tests, the native
+    /// thread backend) use this default and report every process alive.
+    fn is_crashed(&self, _p: ProcId) -> bool {
+        false
+    }
 }
 
 /// Simulator-backed environment handed to each task closure.
@@ -49,6 +91,7 @@ pub struct TaskEnv {
     pub(crate) gate: Arc<Gate>,
     pub(crate) clock: Arc<AtomicU64>,
     pub(crate) obs: ObsBuf,
+    pub(crate) crashed: Arc<CrashFlags>,
 }
 
 impl Env for TaskEnv {
@@ -66,6 +109,10 @@ impl Env for TaskEnv {
 
     fn observe(&self, key: &'static str, idx: u32, value: i64) {
         self.obs.record(self.now(), self.tid.proc, key, idx, value);
+    }
+
+    fn is_crashed(&self, p: ProcId) -> bool {
+        self.crashed.get(p)
     }
 }
 

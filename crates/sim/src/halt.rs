@@ -5,16 +5,23 @@ use std::fmt;
 
 /// Signal that the simulation has ended and the task must unwind.
 ///
-/// The algorithms of the paper are written as `repeat forever` loops; a run
-/// of the simulator executes a finite number of steps and then delivers
-/// `Halted` from the next [`Env::tick`](crate::Env::tick) (or register
-/// operation) of every task. Task bodies propagate it with `?` and return,
-/// letting their threads be joined.
+/// The algorithms of the paper are written as `repeat forever` loops; a
+/// run of the simulator executes a finite number of steps and then stops
+/// granting steps. How a task experiences that depends on its backend:
 ///
-/// `Halted` is also used to tear down the tasks of a *crashed* process: in
-/// the model a crashed process simply stops taking steps, which the
-/// scheduler implements by never granting it another step; at the end of
-/// the run its blocked tasks are released with `Halted`.
+/// * A poll-driven [`Stepper`](crate::Stepper) task simply never has its
+///   `step` called again — it needs no halt signal at all, and `Halted`
+///   never reaches it.
+/// * A blocking-closure task is parked inside
+///   [`Env::tick`](crate::Env::tick) (or a register operation) on its
+///   rendezvous gate; at teardown the gate is switched to halt mode, the
+///   `tick` returns `Err(Halted)`, and the body propagates it with `?`
+///   so its thread can be joined.
+///
+/// A *crashed* process is handled the same way: in the model a crashed
+/// process simply stops taking steps, which the runner implements by
+/// never scheduling it again; at the end of the run any of its tasks
+/// still parked on a gate are released with `Halted`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Halted;
 

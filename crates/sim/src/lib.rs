@@ -42,6 +42,17 @@
 //! which backend hosts which task. The [`step`] module documents the
 //! contract in detail.
 //!
+//! # Fault injection
+//!
+//! Beyond the static crash plan of [`RunConfig`], a run can carry a
+//! [`Nemesis`]: a deterministic, trace-aware fault injector. Its
+//! [`FaultPlan`] crashes processes when a predicate over the trace fires
+//! ("crash the current leader", "crash between invoke and complete"),
+//! flips registered switches (candidacy churn), turns registered dials
+//! (register fault bursts), and perturbs the timely set of a
+//! [`NemesisSchedule`] mid-run. The [`nemesis`] module documents the
+//! admissible fault model; repro artifacts serialize through [`json`].
+//!
 //! # Example
 //!
 //! ```
@@ -70,7 +81,9 @@ mod env;
 mod gate;
 mod halt;
 mod ids;
+pub mod json;
 mod local;
+pub mod nemesis;
 mod runner;
 pub mod schedule;
 mod spawner;
@@ -78,12 +91,14 @@ pub mod step;
 pub mod timeliness;
 pub mod trace;
 
-pub use env::{Env, FreeRunEnv, TaskEnv};
+pub use env::{CrashFlags, Env, FreeRunEnv, TaskEnv};
 pub use halt::{Halted, SimResult};
 pub use ids::{ProcId, TaskId};
+pub use json::Json;
 pub use local::{Local, LocalVec};
+pub use nemesis::{FaultAction, FaultEvent, FaultPlan, FaultTarget, Nemesis, Trigger};
 pub use runner::{ProcReport, RunConfig, RunReport, Sim, SimBuilder, TaskOutcome};
-pub use schedule::{Schedule, ScheduleView};
+pub use schedule::{NemesisSchedule, Schedule, ScheduleCtl, ScheduleView};
 pub use spawner::{stepper_as_blocking_task, TaskBody, TaskSpawner};
 pub use step::{Control, StepCtx, Stepper};
 pub use trace::{Obs, Trace};

@@ -1,9 +1,10 @@
 //! The simulation runner: builds processes/tasks and executes a run.
 
-use crate::env::TaskEnv;
+use crate::env::{CrashFlags, TaskEnv};
 use crate::gate::{Gate, Grant};
 use crate::halt::SimResult;
 use crate::ids::{ProcId, TaskId};
+use crate::nemesis::Nemesis;
 use crate::schedule::{Schedule, ScheduleView};
 use crate::step::{Control, StepCtx, StepEnv, Stepper};
 use crate::trace::{ObsBuf, Trace};
@@ -102,6 +103,7 @@ impl SimBuilder {
     pub fn build(self) -> Sim {
         let clock = Arc::new(AtomicU64::new(0));
         let obs_seq = Arc::new(AtomicU64::new(0));
+        let crash_flags = Arc::new(CrashFlags::new(self.procs.len()));
         let mut procs = Vec::with_capacity(self.procs.len());
         for (pi, spec) in self.procs.into_iter().enumerate() {
             assert!(!spec.tasks.is_empty(), "process {} has no tasks", spec.name);
@@ -115,6 +117,7 @@ impl SimBuilder {
                             pid: ProcId(pi),
                             clock: Arc::clone(&clock),
                             obs: obs.clone(),
+                            crashed: Arc::clone(&crash_flags),
                         },
                     },
                     TaskSpecKind::Thread(body) => {
@@ -128,6 +131,7 @@ impl SimBuilder {
                             gate: Arc::clone(&gate),
                             clock: Arc::clone(&clock),
                             obs: obs.clone(),
+                            crashed: Arc::clone(&crash_flags),
                         };
                         let g2 = Arc::clone(&gate);
                         let thread_name = format!("{}-{}", spec.name, t.name);
@@ -170,7 +174,11 @@ impl SimBuilder {
                 crashed: false,
             });
         }
-        Sim { procs, clock }
+        Sim {
+            procs,
+            clock,
+            crash_flags,
+        }
     }
 }
 
@@ -233,6 +241,9 @@ pub struct RunConfig {
     pub crashes: Vec<(u64, ProcId)>,
     /// The schedule (adversary).
     pub schedule: Box<dyn Schedule>,
+    /// Optional nemesis: dynamic, trace-aware fault injection (see the
+    /// [`nemesis`](crate::nemesis) module).
+    pub nemesis: Option<Nemesis>,
 }
 
 impl RunConfig {
@@ -242,13 +253,33 @@ impl RunConfig {
             max_steps,
             crashes: Vec::new(),
             schedule: Box::new(schedule),
+            nemesis: None,
         }
     }
 
     /// Adds a crash of `p` at time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the crash plan already crashes `p`: a process crashes at
+    /// most once in the paper's model (no crash-recovery), and a silent
+    /// duplicate would hide a misconfigured experiment. Out-of-range ids
+    /// are caught by [`Sim::run`], which knows the system size.
     #[must_use]
     pub fn crash(mut self, t: u64, p: ProcId) -> Self {
+        assert!(
+            !self.crashes.iter().any(|&(_, q)| q == p),
+            "duplicate crash of process {} in the crash plan",
+            p.0
+        );
         self.crashes.push((t, p));
+        self
+    }
+
+    /// Attaches a nemesis to the run.
+    #[must_use]
+    pub fn with_nemesis(mut self, nemesis: Nemesis) -> Self {
+        self.nemesis = Some(nemesis);
         self
     }
 }
@@ -309,6 +340,9 @@ impl RunReport {
 pub struct Sim {
     procs: Vec<ProcRt>,
     clock: Arc<AtomicU64>,
+    /// Shared with every task env so registers can tell that a process
+    /// has crashed (see [`crate::Env::is_crashed`]).
+    crash_flags: Arc<CrashFlags>,
 }
 
 impl Sim {
@@ -316,9 +350,37 @@ impl Sim {
     ///
     /// The run ends when `max_steps` steps have been taken or no process is
     /// runnable. All task threads are then halted and joined.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first step if the crash plan names a process id
+    /// outside the system, crashes the same process twice, or if an
+    /// attached nemesis has an invalid fault plan (out-of-range targets,
+    /// unregistered switch/dial/gauge names, schedule actions without a
+    /// [`ScheduleCtl`](crate::schedule::ScheduleCtl)).
     pub fn run(mut self, mut config: RunConfig) -> RunReport {
         let n = self.procs.len();
+        let mut crash_seen = vec![false; n];
+        for &(_, cp) in &config.crashes {
+            assert!(
+                cp.0 < n,
+                "crash plan names process {} but the system has {n} processes",
+                cp.0
+            );
+            assert!(
+                !crash_seen[cp.0],
+                "duplicate crash of process {} in the crash plan",
+                cp.0
+            );
+            crash_seen[cp.0] = true;
+        }
+        if let Some(nem) = &config.nemesis {
+            if let Err(e) = nem.validate(n) {
+                panic!("invalid fault plan: {e}");
+            }
+        }
         let mut steps: Vec<ProcId> = Vec::with_capacity(config.max_steps as usize);
+        let mut step_counts = vec![0u64; n];
         let mut crashes_applied: Vec<(u64, ProcId)> = Vec::new();
         config.crashes.sort_by_key(|(t, _)| *t);
         let mut crash_iter = config.crashes.iter().peekable();
@@ -328,11 +390,21 @@ impl Sim {
                 if ct <= t {
                     if !self.procs[cp.0].crashed {
                         self.procs[cp.0].crashed = true;
+                        self.crash_flags.set(cp);
                         crashes_applied.push((t, cp));
                     }
                     crash_iter.next();
                 } else {
                     break;
+                }
+            }
+            if let Some(nem) = config.nemesis.as_mut() {
+                for cp in nem.poll_pre(t, &step_counts) {
+                    if cp.0 < n && !self.procs[cp.0].crashed {
+                        self.procs[cp.0].crashed = true;
+                        self.crash_flags.set(cp);
+                        crashes_applied.push((t, cp));
+                    }
                 }
             }
             let runnable: Vec<bool> = self.procs.iter().map(|p| p.runnable()).collect();
@@ -351,9 +423,11 @@ impl Sim {
                     .expect("some process runnable");
             }
             // Rotate to the process's next live task and grant one step.
+            let watch_obs = config.nemesis.as_ref().is_some_and(|nm| nm.wants_obs());
             let proc = &mut self.procs[p.0];
             let ntasks = proc.tasks.len();
             let mut granted = false;
+            let mut step_obs: Vec<crate::trace::Obs> = Vec::new();
             for k in 0..ntasks {
                 let ti = (proc.cursor + k) % ntasks;
                 if proc.tasks[ti].exited {
@@ -361,6 +435,7 @@ impl Sim {
                 }
                 self.clock.store(t, Ordering::SeqCst);
                 let task = &mut proc.tasks[ti];
+                let obs_mark = if watch_obs { task.obs.mark() } else { 0 };
                 // `finished`/`panic` only apply on `TaskExited`.
                 let (grant, finished, panic) = match &mut task.backend {
                     TaskBackend::Thread { gate, .. } => (gate.grant(), true, None),
@@ -379,6 +454,9 @@ impl Sim {
                     Grant::StepDone => {
                         proc.cursor = ti + 1;
                         granted = true;
+                        if watch_obs {
+                            step_obs = task.obs.since(obs_mark);
+                        }
                         break;
                     }
                     Grant::TaskExited => {
@@ -390,6 +468,16 @@ impl Sim {
             }
             if granted {
                 steps.push(p);
+                step_counts[p.0] += 1;
+                if let Some(nem) = config.nemesis.as_mut() {
+                    for cp in nem.poll_post(t, p, &step_obs) {
+                        if cp.0 < n && !self.procs[cp.0].crashed {
+                            self.procs[cp.0].crashed = true;
+                            self.crash_flags.set(cp);
+                            crashes_applied.push((t, cp));
+                        }
+                    }
+                }
             }
             // If no task of p could take a step (all just exited), the time
             // slot is simply skipped; the next iteration re-evaluates
@@ -441,6 +529,11 @@ impl Sim {
             steps,
             obs,
             crashes: crashes_applied,
+            injections: config
+                .nemesis
+                .as_mut()
+                .map(|nm| nm.take_injections())
+                .unwrap_or_default(),
         };
         RunReport {
             trace,

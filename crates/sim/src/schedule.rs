@@ -16,11 +16,18 @@
 //! * [`SeededRandom`] / [`Weighted`] — randomized interleavings for
 //!   property-based testing;
 //! * [`Scripted`] — an explicit step sequence for adversarial
-//!   counterexamples (e.g. the boosting-starvation run of E5).
+//!   counterexamples (e.g. the boosting-starvation run of E5);
+//! * [`NemesisSchedule`] — a round-robin base whose timely set can be
+//!   perturbed *mid-run* through a [`ScheduleCtl`] handle, which is how
+//!   the nemesis (see the [`nemesis`](crate::nemesis) module) demotes and
+//!   flickers processes.
 
 use crate::ids::ProcId;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// What a schedule may inspect when choosing the next process.
 #[derive(Debug)]
@@ -398,6 +405,197 @@ impl Schedule for Scripted {
     }
 }
 
+#[derive(Default)]
+struct CtlState {
+    demoted: BTreeSet<usize>,
+    flickering: BTreeSet<usize>,
+}
+
+/// Shared control handle of a [`NemesisSchedule`].
+///
+/// Cloning yields another handle to the same state; the nemesis holds
+/// one clone and mutates it mid-run while the runner drives the schedule
+/// through the other. All mutations happen at the runner's fixed poll
+/// points, so they are deterministic.
+#[derive(Clone, Default)]
+pub struct ScheduleCtl {
+    inner: Arc<Mutex<CtlState>>,
+}
+
+impl ScheduleCtl {
+    /// Creates a control handle with no perturbations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes `p` from the timely set: its step gaps start doubling, so
+    /// it stays correct but stops being timely.
+    pub fn demote(&self, p: ProcId) {
+        self.inner.lock().demoted.insert(p.0);
+    }
+
+    /// Undoes [`ScheduleCtl::demote`]: `p` rejoins the round-robin.
+    pub fn promote(&self, p: ProcId) {
+        self.inner.lock().demoted.remove(&p.0);
+    }
+
+    /// Starts flickering `p`: bursts of regular steps separated by
+    /// silences that double in length.
+    pub fn flicker_start(&self, p: ProcId) {
+        self.inner.lock().flickering.insert(p.0);
+    }
+
+    /// Stops flickering `p`.
+    pub fn flicker_stop(&self, p: ProcId) {
+        self.inner.lock().flickering.remove(&p.0);
+    }
+
+    /// Snapshot of the currently perturbed (demoted or flickering)
+    /// processes.
+    pub fn perturbed(&self) -> Vec<ProcId> {
+        let st = self.inner.lock();
+        st.demoted
+            .iter()
+            .chain(st.flickering.iter())
+            .copied()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .map(ProcId)
+            .collect()
+    }
+}
+
+/// Per-process pacing state of a demoted process.
+#[derive(Clone, Copy, Default)]
+struct SlowState {
+    active: bool,
+    next_due: u64,
+    gap: u64,
+}
+
+/// Per-process burst/silence state of a flickering process.
+#[derive(Clone, Copy, Default)]
+struct FlickState {
+    active: bool,
+    on: bool,
+    until: u64,
+    quiet: u64,
+}
+
+/// Round-robin over a timely set that a [`ScheduleCtl`] can shrink and
+/// grow mid-run.
+///
+/// Processes start timely. A *demoted* process receives steps at times
+/// with doubling gaps (correct, not timely); a *flickering* process
+/// alternates bursts of round-robin participation with silences that
+/// double in length. Everyone else round-robins. The schedule is a pure
+/// state machine over `(time, ctl state)`, so runs remain deterministic.
+pub struct NemesisSchedule {
+    ctl: ScheduleCtl,
+    cursor: usize,
+    slow: Vec<SlowState>,
+    flick: Vec<FlickState>,
+}
+
+/// Initial gap of a freshly demoted process (doubles from there).
+const DEMOTE_GAP0: u64 = 8;
+/// Length of a flicker burst, in global steps.
+const FLICKER_BURST: u64 = 32;
+/// Initial flicker silence (doubles after each burst).
+const FLICKER_QUIET0: u64 = 64;
+
+impl NemesisSchedule {
+    /// Creates the schedule; mutate its timely set through `ctl`.
+    pub fn new(ctl: ScheduleCtl) -> Self {
+        NemesisSchedule {
+            ctl,
+            cursor: 0,
+            slow: Vec::new(),
+            flick: Vec::new(),
+        }
+    }
+
+    fn sync(&mut self, n: usize, t: u64) {
+        self.slow.resize(n, SlowState::default());
+        self.flick.resize(n, FlickState::default());
+        let st = self.ctl.inner.lock();
+        for p in 0..n {
+            let demoted = st.demoted.contains(&p);
+            if demoted && !self.slow[p].active {
+                self.slow[p] = SlowState {
+                    active: true,
+                    next_due: t + DEMOTE_GAP0,
+                    gap: DEMOTE_GAP0,
+                };
+            } else if !demoted {
+                self.slow[p].active = false;
+            }
+            let flickering = st.flickering.contains(&p);
+            if flickering && !self.flick[p].active {
+                self.flick[p] = FlickState {
+                    active: true,
+                    on: true,
+                    until: t + FLICKER_BURST,
+                    quiet: FLICKER_QUIET0,
+                };
+            } else if !flickering {
+                self.flick[p].active = false;
+            }
+            let f = &mut self.flick[p];
+            if f.active && t >= f.until {
+                if f.on {
+                    f.on = false;
+                    f.until = t + f.quiet;
+                    f.quiet = (f.quiet * 2).min(1 << 40);
+                } else {
+                    f.on = true;
+                    f.until = t + FLICKER_BURST;
+                }
+            }
+        }
+    }
+}
+
+impl Schedule for NemesisSchedule {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        let (n, t) = (view.n, view.time);
+        self.sync(n, t);
+        // A demoted process whose gap has elapsed takes priority: it must
+        // keep stepping (it is correct!), just ever more rarely.
+        for p in 0..n {
+            let s = &mut self.slow[p];
+            if s.active && view.runnable[p] && t >= s.next_due {
+                s.gap = (s.gap * 2).min(1 << 40);
+                s.next_due = t + s.gap;
+                return ProcId(p);
+            }
+        }
+        // Round-robin over the unperturbed (and currently-bursting) rest.
+        for k in 0..n {
+            let p = (self.cursor + k) % n;
+            let eligible = view.runnable[p]
+                && !self.slow[p].active
+                && (!self.flick[p].active || self.flick[p].on);
+            if eligible {
+                self.cursor = p + 1;
+                return ProcId(p);
+            }
+        }
+        // Everyone is perturbed or blocked: fall back to any runnable
+        // process so the run never stalls.
+        view.next_runnable_from(self.cursor % n.max(1))
+            .unwrap_or(ProcId(0))
+    }
+
+    fn intended_timely(&self, n: usize) -> Vec<ProcId> {
+        let perturbed = self.ctl.perturbed();
+        (0..n)
+            .map(ProcId)
+            .filter(|p| !perturbed.contains(p))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +677,70 @@ mod tests {
             .filter(|&t| s.next(&view(&r, t)) == ProcId(0))
             .count();
         assert!(heavy > 900, "heavy process took {heavy}/1000 steps");
+    }
+
+    #[test]
+    fn nemesis_schedule_round_robins_unperturbed() {
+        let mut s = NemesisSchedule::new(ScheduleCtl::new());
+        let r = [true, true, true];
+        let seq: Vec<usize> = (0..6).map(|t| s.next(&view(&r, t)).0).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn demoted_process_gets_growing_gaps() {
+        let ctl = ScheduleCtl::new();
+        let mut s = NemesisSchedule::new(ctl.clone());
+        ctl.demote(ProcId(2));
+        let r = [true, true, true];
+        let mut slow_times = Vec::new();
+        for t in 0..2000 {
+            if s.next(&view(&r, t)) == ProcId(2) {
+                slow_times.push(t);
+            }
+        }
+        assert!(
+            slow_times.len() >= 4,
+            "demoted process starved: {slow_times:?}"
+        );
+        let gaps: Vec<u64> = slow_times.windows(2).map(|w| w[1] - w[0]).collect();
+        for w in gaps.windows(2) {
+            assert!(w[1] > w[0], "gaps must grow: {gaps:?}");
+        }
+        assert_eq!(s.intended_timely(3), vec![ProcId(0), ProcId(1)]);
+    }
+
+    #[test]
+    fn promote_restores_regular_steps() {
+        let ctl = ScheduleCtl::new();
+        let mut s = NemesisSchedule::new(ctl.clone());
+        ctl.demote(ProcId(1));
+        let r = [true, true];
+        for t in 0..500 {
+            s.next(&view(&r, t));
+        }
+        ctl.promote(ProcId(1));
+        let late: Vec<usize> = (500..520).map(|t| s.next(&view(&r, t)).0).collect();
+        let ones = late.iter().filter(|&&p| p == 1).count();
+        assert!(ones >= 8, "promoted process still starved: {late:?}");
+    }
+
+    #[test]
+    fn flickering_process_has_growing_silences() {
+        let ctl = ScheduleCtl::new();
+        let mut s = NemesisSchedule::new(ctl.clone());
+        ctl.flicker_start(ProcId(0));
+        let r = [true, true];
+        let mut times = Vec::new();
+        for t in 0..4000 {
+            if s.next(&view(&r, t)) == ProcId(0) {
+                times.push(t);
+            }
+        }
+        assert!(times.len() > 10);
+        let gap = |ts: &[u64]| ts.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let mid = times.len() / 2;
+        assert!(gap(&times[mid..]) > gap(&times[..mid.max(2)]));
     }
 
     #[test]

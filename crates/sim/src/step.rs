@@ -21,7 +21,7 @@
 //! a run remains a deterministic function of `(program, schedule,
 //! seed)`.
 
-use crate::env::Env;
+use crate::env::{CrashFlags, Env};
 use crate::halt::SimResult;
 use crate::ids::ProcId;
 use crate::trace::ObsBuf;
@@ -113,6 +113,10 @@ impl Env for StepCtx<'_> {
     fn observe(&self, key: &'static str, idx: u32, value: i64) {
         self.env.observe(key, idx, value);
     }
+
+    fn is_crashed(&self, p: ProcId) -> bool {
+        self.env.is_crashed(p)
+    }
 }
 
 /// The runner-internal backing env of a native (poll-driven) stepper
@@ -123,6 +127,7 @@ pub(crate) struct StepEnv {
     pub(crate) pid: ProcId,
     pub(crate) clock: Arc<AtomicU64>,
     pub(crate) obs: ObsBuf,
+    pub(crate) crashed: Arc<CrashFlags>,
 }
 
 impl Env for StepEnv {
@@ -145,6 +150,10 @@ impl Env for StepEnv {
 
     fn observe(&self, key: &'static str, idx: u32, value: i64) {
         self.obs.record(self.now(), self.pid, key, idx, value);
+    }
+
+    fn is_crashed(&self, p: ProcId) -> bool {
+        self.crashed.get(p)
     }
 }
 

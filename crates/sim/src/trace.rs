@@ -70,6 +70,18 @@ impl ObsBuf {
         std::mem::take(&mut self.items.lock())
     }
 
+    /// Number of observations recorded so far (used by the runner to
+    /// mark a position before granting a step).
+    pub(crate) fn mark(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// The observations recorded since `mark` (what one granted step
+    /// observed; fed to the nemesis for trace-aware triggers).
+    pub(crate) fn since(&self, mark: usize) -> Vec<Obs> {
+        self.items.lock()[mark..].iter().map(|(_, o)| *o).collect()
+    }
+
     /// Merges buffers into one observation list in global recording order.
     pub(crate) fn merge(bufs: impl IntoIterator<Item = ObsBuf>) -> Vec<Obs> {
         let mut all: Vec<(u64, Obs)> = Vec::new();
@@ -115,8 +127,11 @@ pub struct Trace {
     pub steps: Vec<ProcId>,
     /// All observations, in recording order (which is also time order).
     pub obs: Vec<Obs>,
-    /// Crash events `(time, process)` that were applied during the run.
+    /// Crash events `(time, process)` that were applied during the run
+    /// (from the static crash plan and from nemesis injections alike).
     pub crashes: Vec<(u64, ProcId)>,
+    /// Nemesis injections applied during the run, in firing order.
+    pub injections: Vec<crate::nemesis::InjectionRecord>,
 }
 
 impl Trace {
@@ -256,6 +271,7 @@ mod tests {
                 },
             ],
             crashes: vec![(4, ProcId(1))],
+            injections: vec![],
         }
     }
 
@@ -312,6 +328,7 @@ mod tests {
             steps,
             obs: vec![],
             crashes: vec![(15, ProcId(1))],
+            injections: vec![],
         };
         let art = t.ascii_timeline(2, 10);
         let lines: Vec<&str> = art.lines().collect();

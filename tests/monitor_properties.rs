@@ -49,6 +49,7 @@ fn run_pair(s: PairSetup) -> PairRun {
         max_steps: s.steps,
         crashes: Vec::new(),
         schedule,
+        nemesis: None,
     };
     if let Some(t) = s.q_crash_at {
         cfg = cfg.crash(t, ProcId(1));

@@ -25,6 +25,7 @@ fn check(
             max_steps: steps,
             crashes: Vec::new(),
             schedule,
+            nemesis: None,
         },
     );
     out.report.assert_no_panics();
