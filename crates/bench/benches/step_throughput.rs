@@ -7,18 +7,25 @@
 //! byte-identical traces (see `backends_agree_on_full_omega_system` in
 //! `tbwf-omega`), so the per-iteration time ratio is exactly the
 //! per-step engine overhead ratio.
+//!
+//! Self-timed harness (no criterion): wall-clocks whole system runs and
+//! emits both a human table and `results/bench_step_throughput.json`
+//! (via `tbwf_sim::Json`), so the perf trajectory is diffable across
+//! PRs. Pass `--quick` for a smoke-sized measurement window.
 
 // `for p in 0..N` indexing parallel handle vectors mirrors the paper's
 // per-process wiring; an iterator chain would obscure it.
 #![allow(clippy::needless_range_loop)]
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::time::Duration;
+use std::path::Path;
+use std::time::{Duration, Instant};
+use tbwf_bench::gauntlet::write_artifact;
+use tbwf_bench::print_table;
 use tbwf_omega::harness::install_omega;
 use tbwf_omega::{add_candidate_driver, CandidateScript, OmegaKind};
 use tbwf_registers::{RegisterFactory, RegisterFactoryConfig};
 use tbwf_sim::schedule::RoundRobin;
-use tbwf_sim::{ProcId, RunConfig, SimBuilder, TaskBody, TaskSpawner};
+use tbwf_sim::{Json, ProcId, RunConfig, SimBuilder, TaskBody, TaskSpawner};
 
 /// Global steps per iteration; one iteration = one complete system run.
 const STEPS: u64 = 10_000;
@@ -61,26 +68,143 @@ fn omega_run(kind: OmegaKind, threads: bool) {
     );
 }
 
-fn step_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("step-throughput");
-    g.sample_size(10)
-        .measurement_time(Duration::from_secs(5))
-        .throughput(Throughput::Elements(STEPS));
-    for kind in [OmegaKind::Atomic, OmegaKind::Abortable] {
-        let tag = format!("{kind:?}").to_lowercase();
-        g.bench_with_input(
-            BenchmarkId::new("stepper", format!("{tag}-n{N}-{STEPS}steps")),
-            &kind,
-            |b, &kind| b.iter(|| omega_run(kind, false)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("thread", format!("{tag}-n{N}-{STEPS}steps")),
-            &kind,
-            |b, &kind| b.iter(|| omega_run(kind, true)),
-        );
+/// Runs `f` once to warm up, then repeatedly until `target` wall time has
+/// elapsed; returns `(iterations, seconds)`.
+fn measure(target: Duration, mut f: impl FnMut()) -> (u32, f64) {
+    f();
+    let mut iters = 0u32;
+    let start = Instant::now();
+    loop {
+        f();
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= target {
+            return (iters, elapsed.as_secs_f64());
+        }
     }
-    g.finish();
 }
 
-criterion_group!(benches, step_throughput);
-criterion_main!(benches);
+struct Sample {
+    system: &'static str,
+    backend: &'static str,
+    iters: u32,
+    secs: f64,
+}
+
+impl Sample {
+    fn secs_per_iter(&self) -> f64 {
+        self.secs / self.iters as f64
+    }
+
+    fn steps_per_sec(&self) -> f64 {
+        STEPS as f64 / self.secs_per_iter()
+    }
+}
+
+fn main() {
+    // Cargo passes `--bench` (and possibly criterion-style filters) to a
+    // harness = false main; only `--quick` is meaningful here.
+    let quick = std::env::args().any(|a| a == "--quick");
+    let target = if quick {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs(5)
+    };
+    println!(
+        "step_throughput: {N}-process Omega-Delta, {STEPS} steps/run, \
+         {:.1}s window per cell{}\n",
+        target.as_secs_f64(),
+        if quick { " (--quick)" } else { "" }
+    );
+
+    let mut samples = Vec::new();
+    for (kind, system) in [
+        (OmegaKind::Atomic, "atomic"),
+        (OmegaKind::Abortable, "abortable"),
+    ] {
+        for (threads, backend) in [(false, "stepper"), (true, "thread")] {
+            let (iters, secs) = measure(target, || omega_run(kind, threads));
+            samples.push(Sample {
+                system,
+                backend,
+                iters,
+                secs,
+            });
+        }
+    }
+
+    let mut rows = Vec::new();
+    for s in &samples {
+        rows.push(vec![
+            s.system.to_string(),
+            s.backend.to_string(),
+            s.iters.to_string(),
+            format!("{:.3}", s.secs_per_iter() * 1e3),
+            format!("{:.2}", s.steps_per_sec() / 1e6),
+        ]);
+    }
+    print_table(
+        &["system", "backend", "iters", "ms/iter", "Msteps/s"],
+        &rows,
+    );
+
+    let speedup = |system: &str| -> f64 {
+        let by = |backend: &str| {
+            samples
+                .iter()
+                .find(|s| s.system == system && s.backend == backend)
+                .expect("sample exists")
+                .secs_per_iter()
+        };
+        by("thread") / by("stepper")
+    };
+    println!(
+        "\nstepper/thread speedup: atomic {:.1}x, abortable {:.1}x",
+        speedup("atomic"),
+        speedup("abortable")
+    );
+
+    let json = Json::obj([
+        ("bench", Json::str("step_throughput")),
+        (
+            "config",
+            Json::obj([
+                ("n", Json::Int(N as i128)),
+                ("steps_per_run", Json::Int(STEPS as i128)),
+                ("quick", Json::Bool(quick)),
+            ]),
+        ),
+        (
+            "series",
+            Json::Arr(
+                samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("system", Json::str(s.system)),
+                            ("backend", Json::str(s.backend)),
+                            ("iters", Json::Int(s.iters as i128)),
+                            ("secs", Json::Float(s.secs)),
+                            ("secs_per_iter", Json::Float(s.secs_per_iter())),
+                            ("steps_per_sec", Json::Float(s.steps_per_sec())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "speedup_stepper_over_thread",
+            Json::obj([
+                ("atomic", Json::Float(speedup("atomic"))),
+                ("abortable", Json::Float(speedup("abortable"))),
+            ]),
+        ),
+    ]);
+    // Cargo runs bench binaries with cwd = the package root; anchor the
+    // artifact in the workspace-level results/ directory instead.
+    let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    match write_artifact(&results, "bench_step_throughput", &json) {
+        Ok(p) => println!("json: {}", p.display()),
+        Err(e) => eprintln!("cannot write bench json: {e}"),
+    }
+}

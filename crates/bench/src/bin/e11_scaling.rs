@@ -15,36 +15,54 @@
 //!    falls with n (each completed operation pays a canonical leadership
 //!    rotation whose cost grows with n), while fairness holds: the
 //!    minimum per-process count stays positive.
+//!
+//! Every cell of both series is an independent seeded run, so the grid
+//! executes on the work-sharded executor (all cores, `TBWF_JOBS`
+//! override); rows are collected by grid index, keeping the tables
+//! byte-identical to a serial sweep.
 
 use tbwf::prelude::*;
 use tbwf_bench::print_table;
 use tbwf_omega::spec::convergence_time;
+use tbwf_sim::Executor;
+
+const NS: [usize; 8] = [2, 3, 4, 6, 8, 16, 32, 64];
 
 fn main() {
-    println!("E11: scaling with n (all processes timely, round-robin)\n");
+    let executor = Executor::auto();
+    println!(
+        "E11: scaling with n (all processes timely, round-robin), {} worker(s)\n",
+        executor.jobs()
+    );
 
     println!("Series 1: election convergence (steps until last leader change)");
-    let mut rows = Vec::new();
-    for n in [2usize, 3, 4, 6, 8, 16, 32, 64] {
+    // One job per (n, kind) cell, row-major so chunking by 2 restores rows.
+    let cells: Vec<(usize, OmegaKind)> = NS
+        .iter()
+        .flat_map(|&n| [(n, OmegaKind::Atomic), (n, OmegaKind::Abortable)])
+        .collect();
+    let conv = executor.run(cells.len(), |i| {
+        let (n, kind) = cells[i];
         let steps = 120_000 * n as u64;
-        let mut cells = vec![n.to_string()];
-        for kind in [OmegaKind::Atomic, OmegaKind::Abortable] {
-            let cfg = OmegaSystemConfig {
-                n,
-                kind,
-                scripts: vec![CandidateScript::Always; n],
-                ..Default::default()
-            };
-            let out = run_omega_system(&cfg, RunConfig::new(steps, RoundRobin::new()));
-            out.report.assert_no_panics();
-            assert!(
-                out.handles[0].leader.get().is_some(),
-                "n={n} {kind:?}: no leader elected"
-            );
-            cells.push(convergence_time(&out.report.trace, n).to_string());
-        }
-        rows.push(cells);
-    }
+        let cfg = OmegaSystemConfig {
+            n,
+            kind,
+            scripts: vec![CandidateScript::Always; n],
+            ..Default::default()
+        };
+        let out = run_omega_system(&cfg, RunConfig::new(steps, RoundRobin::new()));
+        out.report.assert_no_panics();
+        assert!(
+            out.handles[0].leader.get().is_some(),
+            "n={n} {kind:?}: no leader elected"
+        );
+        convergence_time(&out.report.trace, n).to_string()
+    });
+    let rows: Vec<Vec<String>> = NS
+        .iter()
+        .zip(conv.chunks(2))
+        .map(|(&n, pair)| vec![n.to_string(), pair[0].clone(), pair[1].clone()])
+        .collect();
     print_table(&["n", "atomic conv@", "abortable conv@"], &rows);
 
     // Each completed operation pays a canonical leadership rotation: the
@@ -53,8 +71,8 @@ fn main() {
     // and all n processes completing at least once needs Θ(n³). Scale the
     // budget accordingly so fairness is measurable at every n.
     println!("\nSeries 2: TBWF counter throughput, step budget max(300k, 600·n³)");
-    let mut rows = Vec::new();
-    for n in [2usize, 3, 4, 6, 8, 16, 32, 64] {
+    let rows = executor.run(NS.len(), |i| {
+        let n = NS[i];
         let steps = 300_000u64.max(600 * (n as u64).pow(3));
         let run = TbwfSystemBuilder::new(Counter)
             .processes(n)
@@ -70,14 +88,14 @@ fn main() {
             "n={n}: a timely process starved: {:?}",
             run.completed
         );
-        rows.push(vec![
+        vec![
             n.to_string(),
             steps.to_string(),
             total.to_string(),
             min.to_string(),
             format!("{:.0}", steps as f64 / total as f64),
-        ]);
-    }
+        ]
+    });
     print_table(
         &["n", "steps", "total ops", "min per proc", "steps per op"],
         &rows,

@@ -9,25 +9,91 @@
 //! post-stabilization; any violation is shrunk to a 1-minimal fault plan
 //! (ddmin) and written to `results/` as a self-contained repro artifact.
 //!
+//! Campaigns are independent seeded runs, so they execute on a
+//! work-sharded thread pool (`--jobs`, default all cores); results are
+//! collected and reported in campaign order, making the output
+//! byte-identical for every worker count.
+//!
 //! The run ends with the *ablation* demonstration: self-punishment
 //! (Figure 3 lines 7–8) disabled plus post-settle candidacy churn
 //! produces a quiescence violation, whose shrunken artifact lands in
 //! `results/e12_ablation_repro.json` — the shrinker proven on a real
 //! violation, not just asserted idle.
-//!
-//! ```text
-//! e12_gauntlet [--campaigns N] [--skip-ablation] [--repro FILE]
-//! ```
 
 use std::path::Path;
 use std::process::ExitCode;
 use tbwf_bench::gauntlet::{
-    ablation_scenario, artifact_json, random_scenario, run_scenario, scenario_from_artifact,
-    shrink, write_artifact, SystemKind,
+    ablation_scenario, artifact_json, campaign_list, run_campaigns, run_scenario,
+    scenario_from_artifact, shrink, write_artifact, SystemKind,
 };
 use tbwf_bench::print_table;
+use tbwf_sim::{resolve_jobs, Executor};
 
 const RESULTS_DIR: &str = "results";
+
+const USAGE: &str = "\
+usage: e12_gauntlet [--campaigns N] [--jobs N] [--skip-ablation] [--repro FILE]
+
+  --campaigns N    total campaigns across the four system kinds
+                   (default 240; must be at least 1)
+  --jobs N         worker threads (default: TBWF_JOBS env, else all cores;
+                   must be at least 1)
+  --skip-ablation  skip the self-punishment ablation demonstration
+  --repro FILE     replay a repro artifact instead of running campaigns";
+
+struct Cli {
+    total: usize,
+    jobs: Option<usize>,
+    run_ablation: bool,
+    repro: Option<String>,
+}
+
+fn positive_arg(args: &[String], i: usize, flag: &str) -> Result<usize, String> {
+    let raw = args
+        .get(i)
+        .ok_or_else(|| format!("{flag} needs a number"))?;
+    let v: usize = raw
+        .parse()
+        .map_err(|_| format!("{flag}: {raw:?} is not a number"))?;
+    if v == 0 {
+        return Err(format!("{flag} must be at least 1"));
+    }
+    Ok(v)
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        total: 240,
+        jobs: None,
+        run_ablation: true,
+        repro: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--campaigns" => {
+                cli.total = positive_arg(args, i + 1, "--campaigns")?;
+                i += 1;
+            }
+            "--jobs" => {
+                cli.jobs = Some(positive_arg(args, i + 1, "--jobs")?);
+                i += 1;
+            }
+            "--skip-ablation" => cli.run_ablation = false,
+            "--repro" => {
+                cli.repro = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| "--repro needs a file".to_string())?
+                        .clone(),
+                );
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
 
 fn repro(path: &str) -> ExitCode {
     let sc = match scenario_from_artifact(Path::new(path)) {
@@ -60,48 +126,47 @@ fn repro(path: &str) -> ExitCode {
     }
 }
 
-fn campaigns(total: usize) -> usize {
-    let per_kind = total.div_ceil(SystemKind::ALL.len());
+fn campaigns(total: usize, executor: &Executor) -> usize {
+    let scenarios = campaign_list(total);
+    let per_kind = scenarios.len() / SystemKind::ALL.len();
     println!(
-        "E12: degradation gauntlet, {} campaigns per system kind ({} total)\n",
+        "E12: degradation gauntlet, {} campaigns per system kind ({} total), {} worker(s)\n",
         per_kind,
-        per_kind * SystemKind::ALL.len()
+        scenarios.len(),
+        executor.jobs()
     );
+    let results = run_campaigns(&scenarios, executor);
+
+    // Campaigns ran sharded across workers; everything below iterates the
+    // index-ordered result list, so the report (and any artifact writes)
+    // is byte-identical to a serial run.
     let mut rows = Vec::new();
     let mut failures = 0usize;
-    for kind in SystemKind::ALL {
+    for (k, kind) in SystemKind::ALL.into_iter().enumerate() {
         let mut injected = 0usize;
         let mut events = 0usize;
         let mut violated = 0usize;
-        for i in 0..per_kind {
-            let sc = random_scenario(kind, 0xE12_000 + i as u64);
-            let out = run_scenario(&sc);
-            injected += out.injections.len();
-            events += sc.plan.events.len();
-            if !out.violations.is_empty() {
+        for res in &results[k * per_kind..(k + 1) * per_kind] {
+            injected += res.outcome.injections.len();
+            events += res.scenario.plan.events.len();
+            if let Some((min, min_out)) = &res.shrunk {
                 violated += 1;
                 failures += 1;
                 eprintln!(
                     "VIOLATION in {} seed {}: {:?}",
                     kind.name(),
-                    sc.seed,
-                    out.violations
+                    res.scenario.seed,
+                    res.outcome
+                        .violations
                         .iter()
                         .map(|v| v.invariant.as_str())
                         .collect::<Vec<_>>()
                 );
-                // Shrink and persist a repro artifact for the failure.
-                let min = shrink(&sc);
-                let min_out = run_scenario(&min);
-                let stem = format!("e12_violation_{}_{}", kind.name(), sc.seed);
-                match write_artifact(
-                    Path::new(RESULTS_DIR),
-                    &stem,
-                    &artifact_json(&min, &min_out),
-                ) {
+                let stem = format!("e12_violation_{}_{}", kind.name(), res.scenario.seed);
+                match write_artifact(Path::new(RESULTS_DIR), &stem, &artifact_json(min, min_out)) {
                     Ok(p) => eprintln!(
                         "  shrunk {} -> {} events, artifact: {}",
-                        sc.plan.events.len(),
+                        res.scenario.plan.events.len(),
                         min.plan.events.len(),
                         p.display()
                     ),
@@ -162,40 +227,26 @@ fn ablation() -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut total = 240usize;
-    let mut run_ablation = true;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--campaigns" => {
-                i += 1;
-                total = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .expect("--campaigns needs a number");
-            }
-            "--skip-ablation" => run_ablation = false,
-            "--repro" => {
-                i += 1;
-                let path = args.get(i).expect("--repro needs a file");
-                return repro(path);
-            }
-            other => {
-                eprintln!("unknown argument {other}");
-                return ExitCode::FAILURE;
-            }
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("e12_gauntlet: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
         }
-        i += 1;
+    };
+    if let Some(path) = &cli.repro {
+        return repro(path);
     }
 
-    let failures = campaigns(total);
+    let executor = Executor::new(resolve_jobs(cli.jobs));
+    let failures = campaigns(cli.total, &executor);
     let mut ok = failures == 0;
     if failures > 0 {
         eprintln!("\n{failures} campaign(s) violated an invariant");
     } else {
         println!("\nall campaigns passed");
     }
-    if run_ablation {
+    if cli.run_ablation {
         match ablation() {
             Ok(()) => println!("ablation detected and shrunk as expected"),
             Err(e) => {

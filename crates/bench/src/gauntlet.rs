@@ -40,8 +40,8 @@ use tbwf_registers::{DIAL_ABORT_NO_EFFECT, DIAL_ABORT_STORM, DIAL_BASE, DIAL_CAL
 use tbwf_sim::analysis::{bounded_suffix, value_at};
 use tbwf_sim::timeliness::measured_timely_set;
 use tbwf_sim::{
-    FaultAction, FaultEvent, FaultPlan, FaultTarget, Json, Nemesis, NemesisSchedule, ProcId,
-    RunConfig, RunReport, ScheduleCtl, SimBuilder, TaskOutcome, Trigger,
+    Executor, FaultAction, FaultEvent, FaultPlan, FaultTarget, Json, Nemesis, NemesisSchedule,
+    ProcId, RunConfig, RunReport, ScheduleCtl, SimBuilder, TaskOutcome, Trigger,
 };
 use tbwf_universal::object::{Counter, CounterOp};
 
@@ -647,6 +647,95 @@ pub fn ablation_scenario(seed: u64) -> Scenario {
         self_punish: false,
         plan,
     }
+}
+
+// ---------------------------------------------------------------------
+// Parallel campaign execution
+// ---------------------------------------------------------------------
+
+/// The seed of the `i`-th campaign of a gauntlet run (shared by every
+/// driver so serial and parallel runs test identical scenarios).
+pub fn campaign_seed(i: usize) -> u64 {
+    0xE12_000 + i as u64
+}
+
+/// The deterministic campaign list of a gauntlet run: `total` campaigns
+/// split evenly (ceiling division) across the four system kinds,
+/// kind-major, with the gauntlet's fixed seed sequence.
+pub fn campaign_list(total: usize) -> Vec<Scenario> {
+    let per_kind = total.div_ceil(SystemKind::ALL.len());
+    let mut out = Vec::with_capacity(per_kind * SystemKind::ALL.len());
+    for kind in SystemKind::ALL {
+        for i in 0..per_kind {
+            out.push(random_scenario(kind, campaign_seed(i)));
+        }
+    }
+    out
+}
+
+/// The full record of one campaign: its outcome plus, when it violated,
+/// the ddmin-shrunk scenario and the shrunk plan's re-run outcome.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// The campaign as executed.
+    pub scenario: Scenario,
+    /// Verdict of the full plan.
+    pub outcome: Outcome,
+    /// On a violation: the 1-minimal repro scenario and its outcome
+    /// (exactly what [`artifact_json`] serializes to disk).
+    pub shrunk: Option<(Scenario, Outcome)>,
+}
+
+impl CampaignResult {
+    /// Serializes the campaign record — scenario, verdict, violations,
+    /// and the shrunk repro plan if any.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("campaign", artifact_json(&self.scenario, &self.outcome)),
+            (
+                "shrunk",
+                match &self.shrunk {
+                    Some((sc, out)) => artifact_json(sc, out),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// Runs every scenario through the executor — one campaign per job,
+/// shrinking any failure inside the job — and returns the results in
+/// campaign order.
+///
+/// Campaigns share no state (each builds its own registers, nemesis and
+/// schedule, and each run is a deterministic function of its scenario),
+/// and the executor collects by index, so the result list — verdicts,
+/// violation lists, shrunk repro plans — is byte-identical for every
+/// worker count. `tests/parallel_determinism.rs` pins this down.
+pub fn run_campaigns(scenarios: &[Scenario], executor: &Executor) -> Vec<CampaignResult> {
+    executor.run(scenarios.len(), |i| {
+        let scenario = scenarios[i].clone();
+        let outcome = run_scenario(&scenario);
+        let shrunk = if outcome.violations.is_empty() {
+            None
+        } else {
+            let min = shrink(&scenario);
+            let min_out = run_scenario(&min);
+            Some((min, min_out))
+        };
+        CampaignResult {
+            scenario,
+            outcome,
+            shrunk,
+        }
+    })
+}
+
+/// Serializes a whole gauntlet run as one JSON array, in campaign order.
+/// The parallel-determinism test compares this byte-for-byte across
+/// worker counts.
+pub fn report_json(results: &[CampaignResult]) -> Json {
+    Json::Arr(results.iter().map(CampaignResult::to_json).collect())
 }
 
 // ---------------------------------------------------------------------

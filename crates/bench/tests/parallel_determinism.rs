@@ -1,0 +1,33 @@
+//! The parallel campaign executor is a pure performance feature: the
+//! gauntlet report — verdicts, violation lists, shrunk repro plans —
+//! must be byte-identical to a serial run for every worker count.
+//!
+//! The campaign list mixes passing random campaigns with the ablation
+//! scenario, which violates quiescence by construction, so the
+//! comparison also covers the ddmin shrink + re-run that happens inside
+//! a violating campaign's job.
+
+use tbwf_bench::gauntlet::{ablation_scenario, campaign_list, report_json, run_campaigns};
+use tbwf_sim::Executor;
+
+#[test]
+fn gauntlet_report_identical_across_worker_counts() {
+    let mut scenarios = campaign_list(4);
+    scenarios.push(ablation_scenario(0xAB1A));
+
+    let reports: Vec<String> = [1usize, 2, 8]
+        .into_iter()
+        .map(|jobs| {
+            let results = run_campaigns(&scenarios, &Executor::new(jobs));
+            assert_eq!(results.len(), scenarios.len());
+            report_json(&results).to_string_compact()
+        })
+        .collect();
+
+    assert!(
+        reports[0].contains("\"shrunk\":{"),
+        "the ablation campaign should carry a shrunk repro plan"
+    );
+    assert_eq!(reports[0], reports[1], "jobs=2 report differs from serial");
+    assert_eq!(reports[0], reports[2], "jobs=8 report differs from serial");
+}

@@ -27,7 +27,7 @@ pub trait CasRegister<T: Clone + PartialEq>: Send + Sync {
 
 /// Simulated CAS register: two-step operation, linearizes at the response.
 pub struct SimCasReg<T> {
-    name: String,
+    name: Arc<str>,
     value: Mutex<T>,
     log: Arc<OpLog>,
 }
@@ -35,7 +35,7 @@ pub struct SimCasReg<T> {
 impl<T: Clone + PartialEq + Send> SimCasReg<T> {
     pub(crate) fn new(name: String, init: T, log: Arc<OpLog>) -> Self {
         SimCasReg {
-            name,
+            name: name.into(),
             value: Mutex::new(init),
             log,
         }

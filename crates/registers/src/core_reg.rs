@@ -38,10 +38,6 @@ impl InflightGauges {
         }
         Arc::clone(&cells[p.0])
     }
-
-    fn add(&self, p: ProcId, delta: i64) {
-        self.cell(p).fetch_add(delta, Ordering::SeqCst);
-    }
 }
 
 /// An operation in flight between its invocation and response steps.
@@ -66,11 +62,16 @@ struct CoreState<T> {
     inflight: Vec<Inflight<T>>,
     next_id: u64,
     rng: StdRng,
+    /// Per-process gauge cells, cached on first use so the per-operation
+    /// gauge updates are a single `fetch_add` instead of a lock + `Arc`
+    /// clone through [`InflightGauges::cell`] (the hot path runs twice
+    /// per operation).
+    gauge_cache: Vec<Option<Arc<AtomicI64>>>,
 }
 
 /// Shared core of one simulated register.
 pub(crate) struct RegCore<T> {
-    name: String,
+    name: Arc<str>,
     state: Mutex<CoreState<T>>,
     log: Arc<OpLog>,
     gauges: Arc<InflightGauges>,
@@ -85,6 +86,9 @@ struct Resolution<T> {
     u_effect: f64,
     /// Invocation time, echoed back from `begin`.
     invoked: u64,
+    /// The invoking process, echoed back from `begin` (the completer is
+    /// always the invoker, so `record` needs no `env.pid()` call).
+    proc: ProcId,
     /// The write payload captured at invocation, if any.
     payload: Option<T>,
 }
@@ -92,16 +96,29 @@ struct Resolution<T> {
 impl<T: Clone + Send> RegCore<T> {
     fn new(name: String, init: T, seed: u64, log: Arc<OpLog>, gauges: Arc<InflightGauges>) -> Self {
         RegCore {
-            name,
+            name: name.into(),
             state: Mutex::new(CoreState {
                 value: init,
                 inflight: Vec::new(),
                 next_id: 0,
                 rng: StdRng::seed_from_u64(seed),
+                gauge_cache: Vec::new(),
             }),
             log,
             gauges,
         }
+    }
+
+    /// Updates process `p`'s in-flight gauge through the per-register
+    /// cache (the caller already holds the state lock, so the cache needs
+    /// no synchronization of its own).
+    fn gauge_add(&self, st: &mut CoreState<T>, p: ProcId, delta: i64) {
+        if st.gauge_cache.len() <= p.0 {
+            st.gauge_cache.resize(p.0 + 1, None);
+        }
+        st.gauge_cache[p.0]
+            .get_or_insert_with(|| self.gauges.cell(p))
+            .fetch_add(delta, Ordering::SeqCst);
     }
 
     /// Invocation step: register the in-flight op and mark overlaps.
@@ -129,7 +146,7 @@ impl<T: Clone + Send> RegCore<T> {
         while i < st.inflight.len() {
             if env.is_crashed(st.inflight[i].proc) {
                 let dead = st.inflight.remove(i);
-                self.gauges.add(dead.proc, -1);
+                self.gauge_add(&mut st, dead.proc, -1);
             } else {
                 i += 1;
             }
@@ -151,12 +168,18 @@ impl<T: Clone + Send> RegCore<T> {
             invoked,
             payload,
         });
-        self.gauges.add(proc, 1);
+        self.gauge_add(&mut st, proc, 1);
         id
     }
 
-    /// Response step: remove the in-flight op and sample the adversary.
-    fn resolve(&self, id: u64) -> Resolution<T> {
+    /// Response step: remove the in-flight op, sample the adversary, and
+    /// run `apply` on the resolution and the register value — all under
+    /// one state lock, so completing an operation locks exactly once.
+    fn resolve_apply<R>(
+        &self,
+        id: u64,
+        apply: impl FnOnce(&mut Resolution<T>, &mut T) -> R,
+    ) -> (Resolution<T>, R) {
         let mut st = self.state.lock();
         let pos = st
             .inflight
@@ -170,15 +193,25 @@ impl<T: Clone + Send> RegCore<T> {
         // perturb the rest of the run.
         let u_abort = st.rng.random::<f64>();
         let u_effect = st.rng.random::<f64>();
-        self.gauges.add(op.proc, -1);
-        Resolution {
+        self.gauge_add(&mut st, op.proc, -1);
+        let mut res = Resolution {
             overlapped: op.overlapped,
             overlapped_write: op.overlapped_write,
             u_abort,
             u_effect,
             invoked: op.invoked,
+            proc: op.proc,
             payload: op.payload,
-        }
+        };
+        let out = apply(&mut res, &mut st.value);
+        (res, out)
+    }
+
+    /// Response step without a value effect (tests only; the register
+    /// implementations fold their effect into [`Self::resolve_apply`]).
+    #[cfg(test)]
+    fn resolve(&self, id: u64) -> Resolution<T> {
+        self.resolve_apply(id, |_, _| ()).0
     }
 
     fn record(
@@ -193,7 +226,7 @@ impl<T: Clone + Send> RegCore<T> {
         self.log.push(OpEvent {
             invoked,
             responded: env.now(),
-            proc: env.pid(),
+            proc: res.proc,
             reg: self.name.clone(),
             kind,
             overlapped: res.overlapped,
@@ -231,9 +264,9 @@ impl<T: Clone + Send + Sync> AtomicRegister<T> for SimAtomicReg<T> {
     }
 
     fn complete_write(&self, env: &dyn Env, tok: OpToken) {
-        let res = self.core.resolve(tok.raw());
-        let v = res.payload.clone().expect("write resolved without payload");
-        self.core.state.lock().value = v;
+        let (res, ()) = self.core.resolve_apply(tok.raw(), |res, value| {
+            *value = res.payload.take().expect("write resolved without payload");
+        });
         self.core
             .record(env, res.invoked, OpKind::Write, &res, false, true);
     }
@@ -246,8 +279,7 @@ impl<T: Clone + Send + Sync> AtomicRegister<T> for SimAtomicReg<T> {
     }
 
     fn complete_read(&self, env: &dyn Env, tok: OpToken) -> T {
-        let res = self.core.resolve(tok.raw());
-        let v = self.core.state.lock().value.clone();
+        let (res, v) = self.core.resolve_apply(tok.raw(), |_, value| value.clone());
         self.core
             .record(env, res.invoked, OpKind::Read, &res, false, false);
         v
@@ -315,21 +347,25 @@ impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
     }
 
     fn complete_write(&self, env: &dyn Env, tok: OpToken) -> WriteOutcome {
-        let res = self.core.resolve(tok.raw());
         let (abort_policy, effect_policy) = self.policies();
-        let v = res.payload.clone().expect("write resolved without payload");
-        if res.overlapped && abort_policy.aborts(res.u_abort) {
-            let effect = effect_policy.takes_effect(res.u_effect);
-            if effect {
-                self.core.state.lock().value = v;
+        let (res, (aborted, effect)) = self.core.resolve_apply(tok.raw(), |res, value| {
+            let v = res.payload.take().expect("write resolved without payload");
+            if res.overlapped && abort_policy.aborts(res.u_abort) {
+                let effect = effect_policy.takes_effect(res.u_effect);
+                if effect {
+                    *value = v;
+                }
+                (true, effect)
+            } else {
+                *value = v;
+                (false, true)
             }
-            self.core
-                .record(env, res.invoked, OpKind::Write, &res, true, effect);
+        });
+        self.core
+            .record(env, res.invoked, OpKind::Write, &res, aborted, effect);
+        if aborted {
             WriteOutcome::Aborted
         } else {
-            self.core.state.lock().value = v;
-            self.core
-                .record(env, res.invoked, OpKind::Write, &res, false, true);
             WriteOutcome::Ok
         }
     }
@@ -350,17 +386,25 @@ impl<T: Clone + Send + Sync> AbortableRegister<T> for SimAbortableReg<T> {
     }
 
     fn complete_read(&self, env: &dyn Env, tok: OpToken) -> ReadOutcome<T> {
-        let res = self.core.resolve(tok.raw());
         let (abort_policy, _) = self.policies();
-        if res.overlapped && abort_policy.aborts(res.u_abort) {
-            self.core
-                .record(env, res.invoked, OpKind::Read, &res, true, false);
-            ReadOutcome::Aborted
-        } else {
-            let v = self.core.state.lock().value.clone();
-            self.core
-                .record(env, res.invoked, OpKind::Read, &res, false, false);
-            ReadOutcome::Value(v)
+        let (res, v) = self.core.resolve_apply(tok.raw(), |res, value| {
+            if res.overlapped && abort_policy.aborts(res.u_abort) {
+                None
+            } else {
+                Some(value.clone())
+            }
+        });
+        match v {
+            Some(v) => {
+                self.core
+                    .record(env, res.invoked, OpKind::Read, &res, false, false);
+                ReadOutcome::Value(v)
+            }
+            None => {
+                self.core
+                    .record(env, res.invoked, OpKind::Read, &res, true, false);
+                ReadOutcome::Aborted
+            }
         }
     }
 }
@@ -391,8 +435,7 @@ impl SafeRegister for SimSafeReg {
             .core
             .begin(env, OpKind::Write, env.pid(), invoked, None);
         env.tick()?;
-        let res = self.core.resolve(id);
-        self.core.state.lock().value = v;
+        let (res, ()) = self.core.resolve_apply(id, |_, value| *value = v);
         self.core
             .record(env, invoked, OpKind::Write, &res, false, true);
         Ok(())
@@ -402,12 +445,12 @@ impl SafeRegister for SimSafeReg {
         let invoked = env.now();
         let id = self.core.begin(env, OpKind::Read, env.pid(), invoked, None);
         env.tick()?;
-        let res = self.core.resolve(id);
+        let (res, stored) = self.core.resolve_apply(id, |_, value| *value);
         let v = if res.overlapped_write {
             // Arbitrary value: safe semantics under read/write overlap.
             (res.u_abort * u64::MAX as f64) as u64
         } else {
-            self.core.state.lock().value
+            stored
         };
         self.core
             .record(env, invoked, OpKind::Read, &res, false, false);
@@ -539,7 +582,7 @@ mod tests {
         assert_eq!(evs[0].kind, OpKind::Write);
         assert_eq!(evs[1].kind, OpKind::Read);
         assert_eq!(evs[0].proc, ProcId(2));
-        assert_eq!(evs[0].reg, "Reg");
+        assert_eq!(&*evs[0].reg, "Reg");
         assert!(evs[0].responded > evs[0].invoked);
     }
 

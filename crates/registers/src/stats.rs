@@ -3,6 +3,7 @@
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use tbwf_sim::ProcId;
 
 /// Kind of a register operation.
@@ -24,7 +25,10 @@ pub struct OpEvent {
     /// The process that performed the operation.
     pub proc: ProcId,
     /// Name the register was created with (e.g. `"CounterRegister[3]"`).
-    pub reg: String,
+    ///
+    /// An `Arc<str>` shared with the register itself: recording an event
+    /// must not allocate on the hot path.
+    pub reg: Arc<str>,
     /// Read or write.
     pub kind: OpKind,
     /// Whether the operation overlapped another operation on the register.

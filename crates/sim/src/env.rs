@@ -100,7 +100,10 @@ impl Env for TaskEnv {
     }
 
     fn now(&self) -> u64 {
-        self.clock.load(Ordering::SeqCst)
+        // Relaxed: the runner stores the clock before granting the step,
+        // and the grant itself is a gate rendezvous whose mutex provides
+        // the happens-before edge to this task thread.
+        self.clock.load(Ordering::Relaxed)
     }
 
     fn pid(&self) -> ProcId {

@@ -78,6 +78,7 @@
 
 pub mod analysis;
 mod env;
+pub mod executor;
 mod gate;
 mod halt;
 mod ids;
@@ -92,6 +93,7 @@ pub mod timeliness;
 pub mod trace;
 
 pub use env::{CrashFlags, Env, FreeRunEnv, TaskEnv};
+pub use executor::{resolve_jobs, Executor};
 pub use halt::{Halted, SimResult};
 pub use ids::{ProcId, TaskId};
 pub use json::Json;

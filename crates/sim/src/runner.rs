@@ -7,7 +7,7 @@ use crate::ids::{ProcId, TaskId};
 use crate::nemesis::Nemesis;
 use crate::schedule::{Schedule, ScheduleView};
 use crate::step::{Control, StepCtx, StepEnv, Stepper};
-use crate::trace::{ObsBuf, Trace};
+use crate::trace::{ObsBuf, ObsSeq, Trace};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -102,14 +102,26 @@ impl SimBuilder {
     /// Panics if any process has no tasks.
     pub fn build(self) -> Sim {
         let clock = Arc::new(AtomicU64::new(0));
-        let obs_seq = Arc::new(AtomicU64::new(0));
+        // All-stepper systems run entirely on the scheduler thread, so
+        // their observation buffers can skip the cross-thread machinery
+        // (atomic stamp + mutex) the thread compat backend needs.
+        let all_steppers = self.procs.iter().all(|p| {
+            p.tasks
+                .iter()
+                .all(|t| matches!(t.kind, TaskSpecKind::Stepper(_)))
+        });
+        let obs_seq = if all_steppers {
+            ObsSeq::poll()
+        } else {
+            ObsSeq::shared()
+        };
         let crash_flags = Arc::new(CrashFlags::new(self.procs.len()));
         let mut procs = Vec::with_capacity(self.procs.len());
         for (pi, spec) in self.procs.into_iter().enumerate() {
             assert!(!spec.tasks.is_empty(), "process {} has no tasks", spec.name);
             let mut tasks = Vec::with_capacity(spec.tasks.len());
             for (ti, t) in spec.tasks.into_iter().enumerate() {
-                let obs = ObsBuf::new(Arc::clone(&obs_seq));
+                let obs = obs_seq.new_buf();
                 let backend = match t.kind {
                     TaskSpecKind::Stepper(stepper) => TaskBackend::Stepper {
                         stepper,
@@ -379,11 +391,27 @@ impl Sim {
                 panic!("invalid fault plan: {e}");
             }
         }
-        let mut steps: Vec<ProcId> = Vec::with_capacity(config.max_steps as usize);
+        // Pre-size the trace buffers from the step budget so steady-state
+        // recording never reallocates. Both reserves are capped: huge
+        // budgets (the E11 n = 64 sweep asks for ~1.6e8 steps) would
+        // otherwise pre-commit gigabytes before the first step runs.
+        let steps_cap = (config.max_steps as usize).min(1 << 22);
+        let total_tasks: usize = self.procs.iter().map(|p| p.tasks.len()).sum();
+        let per_task = ((config.max_steps as usize) / total_tasks.max(1)).min(1 << 16);
+        for proc in &self.procs {
+            for task in &proc.tasks {
+                task.obs.reserve(per_task);
+            }
+        }
+        let mut steps: Vec<ProcId> = Vec::with_capacity(steps_cap);
         let mut step_counts = vec![0u64; n];
         let mut crashes_applied: Vec<(u64, ProcId)> = Vec::new();
         config.crashes.sort_by_key(|(t, _)| *t);
         let mut crash_iter = config.crashes.iter().peekable();
+        // Scratch buffers reused across steps (the hot loop allocates
+        // nothing per iteration).
+        let mut runnable = vec![false; n];
+        let mut step_obs: Vec<crate::trace::Obs> = Vec::new();
 
         for t in 0..config.max_steps {
             while let Some(&&(ct, cp)) = crash_iter.peek() {
@@ -407,7 +435,9 @@ impl Sim {
                     }
                 }
             }
-            let runnable: Vec<bool> = self.procs.iter().map(|p| p.runnable()).collect();
+            for (flag, proc) in runnable.iter_mut().zip(&self.procs) {
+                *flag = proc.runnable();
+            }
             let view = ScheduleView {
                 n,
                 runnable: &runnable,
@@ -427,13 +457,17 @@ impl Sim {
             let proc = &mut self.procs[p.0];
             let ntasks = proc.tasks.len();
             let mut granted = false;
-            let mut step_obs: Vec<crate::trace::Obs> = Vec::new();
+            step_obs.clear();
             for k in 0..ntasks {
                 let ti = (proc.cursor + k) % ntasks;
                 if proc.tasks[ti].exited {
                     continue;
                 }
-                self.clock.store(t, Ordering::SeqCst);
+                // Relaxed is enough for the clock: steppers read it from
+                // this very thread, and a thread task only reads it after
+                // the gate rendezvous, whose mutex provides the
+                // happens-before edge.
+                self.clock.store(t, Ordering::Relaxed);
                 let task = &mut proc.tasks[ti];
                 let obs_mark = if watch_obs { task.obs.mark() } else { 0 };
                 // `finished`/`panic` only apply on `TaskExited`.
@@ -455,7 +489,7 @@ impl Sim {
                         proc.cursor = ti + 1;
                         granted = true;
                         if watch_obs {
-                            step_obs = task.obs.since(obs_mark);
+                            task.obs.since_into(obs_mark, &mut step_obs);
                         }
                         break;
                     }

@@ -141,7 +141,9 @@ impl Env for StepEnv {
     }
 
     fn now(&self) -> u64 {
-        self.clock.load(Ordering::SeqCst)
+        // Relaxed: the runner stores the clock on this same thread just
+        // before polling the stepper; there is no cross-thread read.
+        self.clock.load(Ordering::Relaxed)
     }
 
     fn pid(&self) -> ProcId {
