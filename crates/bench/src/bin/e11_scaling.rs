@@ -21,15 +21,55 @@
 //! override); rows are collected by grid index, keeping the tables
 //! byte-identical to a serial sweep.
 
+use std::process::ExitCode;
 use tbwf::prelude::*;
 use tbwf_bench::print_table;
 use tbwf_omega::spec::convergence_time;
-use tbwf_sim::Executor;
+use tbwf_sim::{resolve_jobs, Executor};
 
 const NS: [usize; 8] = [2, 3, 4, 6, 8, 16, 32, 64];
 
-fn main() {
-    let executor = Executor::auto();
+const USAGE: &str = "\
+usage: e11_scaling [--jobs N]
+
+  --jobs N    worker threads (default: TBWF_JOBS env, else all cores;
+              must be at least 1)";
+
+fn parse_args(args: &[String]) -> Result<Option<usize>, String> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                let raw = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--jobs needs a number".to_string())?;
+                let v: usize = raw
+                    .parse()
+                    .map_err(|_| format!("--jobs: {raw:?} is not a number"))?;
+                if v == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                jobs = Some(v);
+                i += 1;
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(jobs)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match parse_args(&args) {
+        Ok(jobs) => jobs,
+        Err(e) => {
+            eprintln!("e11_scaling: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let executor = Executor::new(resolve_jobs(jobs));
     println!(
         "E11: scaling with n (all processes timely, round-robin), {} worker(s)\n",
         executor.jobs()
@@ -102,4 +142,5 @@ fn main() {
     );
     println!("\nshape: convergence grows with n; steps per op grow with n;");
     println!("fairness (min per proc > 0) holds at every n ok");
+    ExitCode::SUCCESS
 }

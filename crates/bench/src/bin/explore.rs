@@ -4,69 +4,127 @@
 //! per-process completions, the leader timeline, and an ASCII step
 //! timeline — the quickest way to *see* partial synchrony and graceful
 //! degradation.
-//!
-//! ```text
-//! cargo run --release -p tbwf-bench --bin explore -- \
-//!     [n] [steps] [schedule] [omega]
-//!
-//! n         number of processes            (default 4)
-//! steps     run length in global steps     (default 200000)
-//! schedule  rr | partial:<k> | flicker | random:<seed> | solo:<p>
-//!                                          (default rr)
-//! omega     atomic | abortable             (default atomic)
-//! ```
 
+use std::process::ExitCode;
 use tbwf::prelude::*;
 use tbwf_omega::OBS_LEADER;
 
-fn parse_schedule(spec: &str, n: usize, steps: u64) -> Box<dyn Schedule> {
+const USAGE: &str = "\
+usage: explore [n] [steps] [schedule] [omega]
+
+  n         number of processes            (default 4; at least 2)
+  steps     run length in global steps     (default 200000; at least 1)
+  schedule  rr | partial:<k> | flicker | random:<seed> | solo:<p>
+                                           (default rr)
+  omega     atomic | abortable             (default atomic)";
+
+struct Cli {
+    n: usize,
+    steps: u64,
+    sched_spec: String,
+    omega: OmegaKind,
+}
+
+fn positive<T: std::str::FromStr + PartialEq + Default>(
+    raw: &str,
+    what: &str,
+) -> Result<T, String> {
+    let v: T = raw
+        .parse()
+        .map_err(|_| format!("{what}: {raw:?} is not a number"))?;
+    if v == T::default() {
+        return Err(format!("{what} must be at least 1"));
+    }
+    Ok(v)
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    if args.len() > 4 {
+        return Err(format!("unexpected argument {:?}", args[4]));
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag {flag:?}"));
+    }
+    let n: usize = match args.first() {
+        Some(raw) => positive(raw, "n")?,
+        None => 4,
+    };
+    if n < 2 {
+        return Err("n must be at least 2".into());
+    }
+    let steps: u64 = match args.get(1) {
+        Some(raw) => positive(raw, "steps")?,
+        None => 200_000,
+    };
+    let omega = match args.get(3).map(|s| s.as_str()) {
+        None | Some("atomic") => OmegaKind::Atomic,
+        Some("abortable") => OmegaKind::Abortable,
+        Some(other) => return Err(format!("unknown omega {other:?} (want atomic | abortable)")),
+    };
+    Ok(Cli {
+        n,
+        steps,
+        sched_spec: args.get(2).map_or("rr", |s| s.as_str()).to_string(),
+        omega,
+    })
+}
+
+fn parse_schedule(spec: &str, n: usize, steps: u64) -> Result<Box<dyn Schedule>, String> {
     if let Some(k) = spec.strip_prefix("partial:") {
-        let k: usize = k.parse().expect("partial:<k> needs a number");
-        assert!(k >= 1 && k <= n, "k must be in 1..=n");
-        Box::new(PartiallySynchronous::new(
+        let k: usize = positive(k, "partial:<k>")?;
+        if k > n {
+            return Err(format!("partial:<k>: k = {k} exceeds n = {n}"));
+        }
+        Ok(Box::new(PartiallySynchronous::new(
             (0..k).map(ProcId).collect(),
             4,
             true,
-        ))
+        )))
     } else if let Some(seed) = spec.strip_prefix("random:") {
-        Box::new(SeededRandom::new(
-            seed.parse().expect("random:<seed> needs a number"),
-        ))
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("random:<seed>: {seed:?} is not a number"))?;
+        Ok(Box::new(SeededRandom::new(seed)))
     } else if let Some(p) = spec.strip_prefix("solo:") {
-        let p: usize = p.parse().expect("solo:<p> needs a process id");
-        Box::new(SoloAfter::new(steps / 4, ProcId(p)))
+        let p: usize = p
+            .parse()
+            .map_err(|_| format!("solo:<p>: {p:?} is not a process id"))?;
+        if p >= n {
+            return Err(format!("solo:<p>: p{p} out of range (n = {n})"));
+        }
+        Ok(Box::new(SoloAfter::new(steps / 4, ProcId(p))))
     } else {
         match spec {
-            "rr" => Box::new(RoundRobin::new()),
-            "flicker" => Box::new(Flicker::new(ProcId(n - 1), 64, 2_000)),
-            other => panic!(
-                "unknown schedule '{other}' (want rr | partial:<k> | flicker | \
+            "rr" => Ok(Box::new(RoundRobin::new())),
+            "flicker" => Ok(Box::new(Flicker::new(ProcId(n - 1), 64, 2_000))),
+            other => Err(format!(
+                "unknown schedule {other:?} (want rr | partial:<k> | flicker | \
                  random:<seed> | solo:<p>)"
-            ),
+            )),
         }
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = args
-        .first()
-        .map_or(4, |s| s.parse().expect("n must be a number"));
-    let steps: u64 = args
-        .get(1)
-        .map_or(200_000, |s| s.parse().expect("steps must be a number"));
-    let sched_spec = args.get(2).map_or("rr", |s| s.as_str());
-    let omega = match args.get(3).map(|s| s.as_str()) {
-        None | Some("atomic") => OmegaKind::Atomic,
-        Some("abortable") => OmegaKind::Abortable,
-        Some(other) => panic!("unknown omega '{other}' (want atomic | abortable)"),
+    let (cli, schedule) = match parse_args(&args)
+        .and_then(|cli| Ok((parse_schedule(&cli.sched_spec, cli.n, cli.steps)?, cli)))
+    {
+        Ok((schedule, cli)) => (cli, schedule),
+        Err(e) => {
+            eprintln!("explore: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
     };
+    let (n, steps) = (cli.n, cli.steps);
 
-    println!("explore: n={n} steps={steps} schedule={sched_spec} omega={omega:?}\n");
-    let schedule = parse_schedule(sched_spec, n, steps);
+    println!(
+        "explore: n={n} steps={steps} schedule={} omega={:?}\n",
+        cli.sched_spec, cli.omega
+    );
     let run = TbwfSystemBuilder::new(Counter)
         .processes(n)
-        .omega(omega)
+        .omega(cli.omega)
         .workload_all(Workload::Unlimited(CounterOp::Inc))
         .run(RunConfig {
             max_steps: steps,
@@ -97,4 +155,5 @@ fn main() {
     }
     assert_run_linearizable(&Counter, &run);
     println!("\nhistory linearizable ok");
+    ExitCode::SUCCESS
 }

@@ -27,6 +27,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
+use tbwf::linearize::check_run_linearizable;
 use tbwf::prelude::OBS_COMPLETED;
 use tbwf::{TbwfSystemBuilder, Workload};
 use tbwf_monitor::fig2::{OBS_FAULT, OBS_STATUS};
@@ -41,7 +42,7 @@ use tbwf_sim::analysis::{bounded_suffix, value_at};
 use tbwf_sim::timeliness::measured_timely_set;
 use tbwf_sim::{
     Executor, FaultAction, FaultEvent, FaultPlan, FaultTarget, Json, Nemesis, NemesisSchedule,
-    ProcId, RunConfig, RunReport, ScheduleCtl, SimBuilder, TaskOutcome, Trigger,
+    ProcId, RunConfig, RunReport, Schedule, ScheduleCtl, SimBuilder, TaskOutcome, Trigger,
 };
 use tbwf_universal::object::{Counter, CounterOp};
 
@@ -156,7 +157,8 @@ pub struct Violation {
 }
 
 impl Violation {
-    fn new(invariant: &str, detail: String) -> Violation {
+    /// Builds a violation record for the named invariant.
+    pub fn new(invariant: &str, detail: String) -> Violation {
         Violation {
             invariant: invariant.to_string(),
             detail,
@@ -187,12 +189,12 @@ fn collect_panics(report: &RunReport, out: &mut Vec<Violation>) {
 }
 
 /// The switch name of process `p`'s candidacy flag.
-fn switch_name(p: usize) -> String {
+pub fn switch_name(p: usize) -> String {
     format!("cand[{p}]")
 }
 
 /// The gauge name of process `p`'s in-flight register-operation count.
-fn gauge_name(p: usize) -> String {
+pub fn gauge_name(p: usize) -> String {
     format!("inflight[{p}]")
 }
 
@@ -222,7 +224,7 @@ fn factory_config(sc: &Scenario) -> RegisterFactoryConfig {
 /// Which processes the plan churns via their candidacy switch; those are
 /// exempt from the quiescence invariant (an R-candidate's own `leader`
 /// output legitimately toggles through `?` on every churn).
-fn churned(plan: &FaultPlan, n: usize) -> Vec<bool> {
+pub fn churned(plan: &FaultPlan, n: usize) -> Vec<bool> {
     let mut c = vec![false; n];
     for ev in &plan.events {
         if let FaultAction::SetSwitch { switch, .. } = &ev.action {
@@ -253,16 +255,34 @@ fn outcome_from_report(report: &RunReport, n: usize) -> (Outcome, Vec<ProcId>, V
     (out, measured, crashed)
 }
 
+/// The schedule factory a scenario runs under: given the nemesis's
+/// [`ScheduleCtl`] (which the fault plan's demote/flicker actions steer),
+/// produce the run's schedule.
+pub type MkSchedule<'a> = &'a mut dyn FnMut(ScheduleCtl) -> Box<dyn Schedule>;
+
 /// Runs one campaign deterministically and checks its invariants.
 pub fn run_scenario(sc: &Scenario) -> Outcome {
+    run_scenario_under(sc, &mut |ctl| Box::new(NemesisSchedule::new(ctl))).0
+}
+
+/// Like [`run_scenario`], but the caller supplies the schedule and gets
+/// the raw run report back alongside the verdict.
+///
+/// This is the model checker's seam: `tbwf-check` splices an enumerated
+/// decision window into the background [`NemesisSchedule`] (wrapped in a
+/// validation tap) and fingerprints the returned trace, while the
+/// oracles stay exactly the gauntlet's. The default schedule —
+/// `|ctl| Box::new(NemesisSchedule::new(ctl))` — reproduces
+/// [`run_scenario`].
+pub fn run_scenario_under(sc: &Scenario, mk_schedule: MkSchedule<'_>) -> (Outcome, RunReport) {
     match sc.kind {
-        SystemKind::Monitor => run_monitor(sc),
-        SystemKind::OmegaAtomic | SystemKind::OmegaAbortable => run_omega(sc),
-        SystemKind::Tbwf => run_tbwf(sc),
+        SystemKind::Monitor => run_monitor(sc, mk_schedule),
+        SystemKind::OmegaAtomic | SystemKind::OmegaAbortable => run_omega(sc, mk_schedule),
+        SystemKind::Tbwf => run_tbwf(sc, mk_schedule),
     }
 }
 
-fn run_monitor(sc: &Scenario) -> Outcome {
+fn run_monitor(sc: &Scenario, mk_schedule: MkSchedule<'_>) -> (Outcome, RunReport) {
     let factory = RegisterFactory::new(factory_config(sc));
     let mut b = SimBuilder::new();
     for p in 0..sc.n {
@@ -279,7 +299,7 @@ fn run_monitor(sc: &Scenario) -> Outcome {
     }
     let ctl = ScheduleCtl::new();
     let nem = base_nemesis(sc, &factory, &ctl);
-    let run = RunConfig::new(sc.steps, NemesisSchedule::new(ctl)).with_nemesis(nem);
+    let run = RunConfig::new(sc.steps, mk_schedule(ctl)).with_nemesis(nem);
     let report = b.build().run(run);
 
     let (mut out, measured, _) = outcome_from_report(&report, sc.n);
@@ -310,10 +330,10 @@ fn run_monitor(sc: &Scenario) -> Outcome {
             }
         }
     }
-    out
+    (out, report)
 }
 
-fn run_omega(sc: &Scenario) -> Outcome {
+fn run_omega(sc: &Scenario, mk_schedule: MkSchedule<'_>) -> (Outcome, RunReport) {
     let kind = match sc.kind {
         SystemKind::OmegaAtomic => OmegaKind::Atomic,
         _ => OmegaKind::Abortable,
@@ -338,7 +358,7 @@ fn run_omega(sc: &Scenario) -> Outcome {
         let desired = add_external_candidate_driver(&mut b, ProcId(p), h, true);
         nem.register_switch(&switch_name(p), desired);
     }
-    let run = RunConfig::new(sc.steps, NemesisSchedule::new(ctl)).with_nemesis(nem);
+    let run = RunConfig::new(sc.steps, mk_schedule(ctl)).with_nemesis(nem);
     let report = b.build().run(run);
 
     let (mut out, measured, crashed) = outcome_from_report(&report, sc.n);
@@ -404,10 +424,10 @@ fn run_omega(sc: &Scenario) -> Outcome {
             }
         }
     }
-    out
+    (out, report)
 }
 
-fn run_tbwf(sc: &Scenario) -> Outcome {
+fn run_tbwf(sc: &Scenario, mk_schedule: MkSchedule<'_>) -> (Outcome, RunReport) {
     let ctl = ScheduleCtl::new();
     let plan = sc.plan.clone();
     let n = sc.n;
@@ -417,7 +437,7 @@ fn run_tbwf(sc: &Scenario) -> Outcome {
         .seed(sc.seed)
         .workload_all(Workload::Unlimited(CounterOp::Inc))
         .run_wired(
-            RunConfig::new(sc.steps, NemesisSchedule::new(ctl.clone())),
+            RunConfig::new(sc.steps, mk_schedule(ctl.clone())),
             |factory, cfg| {
                 let mut nem = Nemesis::new(plan);
                 nem.control_schedule(ctl.clone());
@@ -468,6 +488,20 @@ fn run_tbwf(sc: &Scenario) -> Outcome {
         }
     }
 
+    // On small *complete* histories — every effective increment reported,
+    // i.e. the ranks are exactly 1..=total — run the full Wing & Gong
+    // search on top of the rank tests. Gauntlet-scale campaigns produce
+    // thousands of operations and skip this; the model checker's short
+    // horizons land under the cap.
+    if total_ops <= 256 && max_resp == total_ops as i64 {
+        if let Err(e) = check_run_linearizable(&Counter, &run) {
+            out.violations.push(Violation::new(
+                "linearizable",
+                format!("no linearization of the {total_ops}-operation history exists ({e:?})"),
+            ));
+        }
+    }
+
     // Timeliness-based wait-freedom: every measured-timely process keeps
     // completing operations after the settle point.
     for &p in &measured {
@@ -484,7 +518,7 @@ fn run_tbwf(sc: &Scenario) -> Outcome {
             ));
         }
     }
-    out
+    (out, run.report)
 }
 
 // ---------------------------------------------------------------------
@@ -742,30 +776,23 @@ pub fn report_json(results: &[CampaignResult]) -> Json {
 // Shrinking
 // ---------------------------------------------------------------------
 
-/// Minimizes a violating scenario's fault plan with ddmin: repeatedly
-/// re-runs the scenario on subsets (and complements of subsets) of the
-/// event list, keeping any subset that still produces a violation, until
-/// the plan is 1-minimal. Returns the shrunken scenario (identical to
-/// the input except for the plan).
-pub fn shrink(sc: &Scenario) -> Scenario {
-    let violates = |events: &[FaultEvent]| -> bool {
-        let mut cand = sc.clone();
-        cand.plan = FaultPlan {
-            events: events.to_vec(),
-        };
-        !run_scenario(&cand).violations.is_empty()
-    };
-    let mut cur: Vec<FaultEvent> = sc.plan.events.clone();
+/// Classic ddmin over an arbitrary item list: repeatedly tests subsets
+/// (and complements of subsets) of `items`, keeping any strictly smaller
+/// list for which `violates` still holds, until the list is 1-minimal.
+/// Returns `items` unchanged if the full list does not violate (nothing
+/// to shrink). Deterministic: candidate order is a pure function of the
+/// input, so equal inputs shrink identically.
+pub fn ddmin<E: Clone>(items: &[E], violates: &mut dyn FnMut(&[E]) -> bool) -> Vec<E> {
+    let mut cur: Vec<E> = items.to_vec();
     if !violates(&cur) {
-        // Not reproducible — nothing to shrink.
-        return sc.clone();
+        return cur;
     }
     let mut granularity = 2usize;
     while cur.len() >= 2 {
         let chunk = cur.len().div_ceil(granularity);
-        let chunks: Vec<&[FaultEvent]> = cur.chunks(chunk).collect();
+        let chunks: Vec<&[E]> = cur.chunks(chunk).collect();
         let mut reduced = None;
-        // Try each chunk alone (fast path to tiny plans)…
+        // Try each chunk alone (fast path to tiny lists)…
         for c in &chunks {
             if c.len() < cur.len() && violates(c) {
                 reduced = Some((c.to_vec(), 2));
@@ -775,7 +802,7 @@ pub fn shrink(sc: &Scenario) -> Scenario {
         // …then each complement.
         if reduced.is_none() && chunks.len() > 2 {
             for i in 0..chunks.len() {
-                let complement: Vec<FaultEvent> = chunks
+                let complement: Vec<E> = chunks
                     .iter()
                     .enumerate()
                     .filter(|&(j, _)| j != i)
@@ -796,8 +823,25 @@ pub fn shrink(sc: &Scenario) -> Scenario {
             None => break,
         }
     }
+    cur
+}
+
+/// Minimizes a violating scenario's fault plan with [`ddmin`]: every
+/// candidate subset is re-run from the same seed, and any subset that
+/// still violates is kept. Returns the shrunken scenario (identical to
+/// the input except for the plan; unchanged if not reproducible).
+pub fn shrink(sc: &Scenario) -> Scenario {
+    let mut violates = |events: &[FaultEvent]| -> bool {
+        let mut cand = sc.clone();
+        cand.plan = FaultPlan {
+            events: events.to_vec(),
+        };
+        !run_scenario(&cand).violations.is_empty()
+    };
     let mut min = sc.clone();
-    min.plan = FaultPlan { events: cur };
+    min.plan = FaultPlan {
+        events: ddmin(&sc.plan.events, &mut violates),
+    };
     min
 }
 

@@ -1,0 +1,213 @@
+//! The E13 checked-configuration suite.
+//!
+//! Small, fixed configurations over every layer: the activity-monitor
+//! mesh (n ∈ {2, 3}), both Ω∆ implementations (n = 2), and the Figure 7
+//! transform over a two-process counter. Window placement follows one
+//! rule: catalogues whose injections *legitimately* move leadership
+//! (crashes, demotions) get a window well before the settle point, so a
+//! correct system re-stabilizes and the after-stabilization oracles
+//! apply; the Ω∆-atomic candidacy-churn window sits *after* the settle
+//! point, where self-punishment (Figure 3 lines 7–8) is the only thing
+//! standing between a churn and a quiescence violation — exactly the
+//! mechanism the ablation removes.
+
+use tbwf_bench::gauntlet::{Scenario, SystemKind};
+use tbwf_registers::DIAL_CALM;
+use tbwf_sim::{FaultAction, FaultPlan, Trigger};
+
+use crate::config::{CheckConfig, InjectionSpec};
+use tbwf_bench::gauntlet::switch_name;
+
+/// How hard the suite explores: `Full` is the E13 experiment, `Quick`
+/// the CI smoke bounds (same systems, shallower windows).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SuiteScale {
+    /// Experiment bounds (depth 4–6, two preemptions).
+    Full,
+    /// Smoke bounds (depth 3, one preemption).
+    Quick,
+}
+
+impl SuiteScale {
+    fn depth(self, full: usize) -> usize {
+        match self {
+            SuiteScale::Full => full,
+            SuiteScale::Quick => 3,
+        }
+    }
+
+    fn preemptions(self) -> usize {
+        match self {
+            SuiteScale::Full => 2,
+            SuiteScale::Quick => 1,
+        }
+    }
+}
+
+fn scenario(kind: SystemKind, seed: u64, n: usize, steps: u64, plan: FaultPlan) -> Scenario {
+    Scenario {
+        seed,
+        kind,
+        n,
+        steps,
+        settle: steps / 2,
+        self_punish: true,
+        plan,
+    }
+}
+
+/// Priming candidacy churn of `p0`, well before the settle point: under
+/// self-punishment it leaves p0's counter handicapped, which is what
+/// makes the post-settle churn window benign on the healthy system.
+fn priming_churn() -> FaultPlan {
+    let churn = |t: u64, on: bool| {
+        (
+            Trigger::At(t),
+            FaultAction::SetSwitch {
+                switch: switch_name(0),
+                on,
+            },
+        )
+    };
+    let mut plan = FaultPlan::new();
+    for (trig, act) in [churn(2_000, false), churn(3_000, true)] {
+        plan = plan.with(trig, act);
+    }
+    plan
+}
+
+fn monitor_config(scale: SuiteScale, n: usize) -> CheckConfig {
+    CheckConfig {
+        name: format!("monitor_n{n}"),
+        scenario: scenario(
+            SystemKind::Monitor,
+            0xE13_000 + n as u64,
+            n,
+            8_000,
+            FaultPlan::new(),
+        ),
+        window_start: 5_000,
+        depth: scale.depth(4),
+        preemptions: scale.preemptions(),
+        max_injections: 1,
+        // No unpaired demotion here: demoting a process mid-window makes
+        // it measured-untimely, and Property 6 then demands *unbounded*
+        // fault-counter growth — unobservable in the short remaining
+        // tail of a finite run. Catalogue entries must keep healthy runs
+        // inside the oracles' measurable regime.
+        catalogue: vec![
+            InjectionSpec::crash(n - 1),
+            InjectionSpec::dial("calm", DIAL_CALM),
+        ],
+    }
+}
+
+/// The Ω∆-atomic configuration of the acceptance criteria: priming
+/// churn, then a *post-settle* decision window armed with p0's candidacy
+/// switch. Healthy (self-punishment on) every placement is benign;
+/// ablated ([`ablation_config`]) a single `off` placement steals
+/// leadership from the stable leader and violates quiescence.
+fn omega_atomic_config(scale: SuiteScale) -> CheckConfig {
+    CheckConfig {
+        name: "omega_atomic_n2".into(),
+        scenario: scenario(
+            SystemKind::OmegaAtomic,
+            0xE13_0A7,
+            2,
+            30_000,
+            priming_churn(),
+        ),
+        window_start: 18_000,
+        depth: scale.depth(6),
+        preemptions: scale.preemptions(),
+        max_injections: 1,
+        catalogue: vec![
+            InjectionSpec::candidacy(0, false),
+            InjectionSpec::candidacy(0, true),
+        ],
+    }
+}
+
+fn omega_abortable_config(scale: SuiteScale) -> CheckConfig {
+    CheckConfig {
+        name: "omega_abortable_n2".into(),
+        scenario: scenario(
+            SystemKind::OmegaAbortable,
+            0xE13_0AB,
+            2,
+            20_000,
+            FaultPlan::new(),
+        ),
+        window_start: 4_000,
+        depth: scale.depth(4),
+        preemptions: scale.preemptions(),
+        max_injections: 1,
+        catalogue: vec![InjectionSpec::crash(1), InjectionSpec::candidacy(0, false)],
+    }
+}
+
+fn tbwf_config(scale: SuiteScale) -> CheckConfig {
+    CheckConfig {
+        name: "tbwf_n2".into(),
+        scenario: scenario(SystemKind::Tbwf, 0xE13_0F7, 2, 6_000, FaultPlan::new()),
+        window_start: 2_000,
+        depth: scale.depth(4),
+        preemptions: scale.preemptions(),
+        max_injections: 1,
+        catalogue: vec![
+            InjectionSpec::crash(1),
+            InjectionSpec::dial("calm", DIAL_CALM),
+        ],
+    }
+}
+
+/// The full E13 suite, in report order. Every configuration must check
+/// clean on the unmodified system.
+pub fn suite(scale: SuiteScale) -> Vec<CheckConfig> {
+    vec![
+        monitor_config(scale, 2),
+        monitor_config(scale, 3),
+        omega_atomic_config(scale),
+        omega_abortable_config(scale),
+        tbwf_config(scale),
+    ]
+}
+
+/// The deliberately broken configuration: [`suite`]'s Ω∆-atomic entry
+/// with self-punishment (Figure 3 lines 7–8) disabled. The checker must
+/// find a counterexample here — a single well-placed candidacy flip
+/// steals leadership after the settle point — and shrink it to one
+/// injection.
+pub fn ablation_config(scale: SuiteScale) -> CheckConfig {
+    let mut cfg = omega_atomic_config(scale);
+    cfg.name = "omega_atomic_n2_no_punish".into();
+    cfg.scenario.self_punish = false;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_config_validates() {
+        for scale in [SuiteScale::Full, SuiteScale::Quick] {
+            for cfg in suite(scale) {
+                cfg.validate()
+                    .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            }
+            ablation_config(scale).validate().expect("ablation");
+        }
+    }
+
+    #[test]
+    fn ablation_differs_from_healthy_only_in_punishment() {
+        let healthy = omega_atomic_config(SuiteScale::Full);
+        let ablated = ablation_config(SuiteScale::Full);
+        assert!(healthy.scenario.self_punish);
+        assert!(!ablated.scenario.self_punish);
+        assert_eq!(healthy.depth, ablated.depth);
+        assert_eq!(healthy.window_start, ablated.window_start);
+        assert_eq!(healthy.scenario.plan, ablated.scenario.plan);
+    }
+}

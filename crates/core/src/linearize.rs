@@ -159,6 +159,46 @@ where
     }
 }
 
+/// Extracts the completed-operation history of a run, process-major in
+/// completion order — the form [`check_linearizable`] consumes.
+pub fn run_history<T: ObjectType>(run: &crate::system::TbwfRun<T>) -> Vec<HistoryEvent<T>> {
+    run.results
+        .iter()
+        .enumerate()
+        .flat_map(|(p, rs)| {
+            rs.iter().map(move |r| HistoryEvent {
+                proc: ProcId(p),
+                op: r.op.clone(),
+                resp: r.resp.clone(),
+                invoked: r.invoked,
+                responded: r.time,
+            })
+        })
+        .collect()
+}
+
+/// Checks the complete history of a
+/// [`TbwfRun`](crate::system::TbwfRun); on success returns the history
+/// indices in linearization order.
+///
+/// Only sound when the history is *complete* — no operation took effect
+/// without its response being reported (see the crate-level caveat on
+/// crashed mid-flight operations); callers must gate on that.
+///
+/// # Errors
+///
+/// Exactly those of [`check_linearizable`].
+pub fn check_run_linearizable<T>(
+    ty: &T,
+    run: &crate::system::TbwfRun<T>,
+) -> Result<Vec<usize>, LinearizeError>
+where
+    T: ObjectType,
+    T::State: Hash + Eq,
+{
+    check_linearizable(ty, &run_history(run))
+}
+
 /// Convenience: checks the complete history of a
 /// [`TbwfRun`](crate::system::TbwfRun).
 ///
@@ -171,24 +211,10 @@ where
     T: ObjectType,
     T::State: Hash + Eq,
 {
-    let history: Vec<HistoryEvent<T>> = run
-        .results
-        .iter()
-        .enumerate()
-        .flat_map(|(p, rs)| {
-            rs.iter().map(move |r| HistoryEvent {
-                proc: ProcId(p),
-                op: r.op.clone(),
-                resp: r.resp.clone(),
-                invoked: r.invoked,
-                responded: r.time,
-            })
-        })
-        .collect();
-    if let Err(e) = check_linearizable(ty, &history) {
+    if let Err(e) = check_run_linearizable(ty, run) {
         panic!(
             "history of {} operations is not linearizable: {e:?}",
-            history.len()
+            run_history(run).len()
         );
     }
 }
@@ -300,5 +326,75 @@ mod tests {
     fn empty_history_is_trivially_linearizable() {
         let h: Vec<HistoryEvent<Counter>> = Vec::new();
         assert_eq!(check_linearizable(&Counter, &h), Ok(vec![]));
+    }
+
+    #[test]
+    fn pending_completion_ambiguity_resolves_both_ways() {
+        // A Get overlapping an Inc may observe either side of it; the
+        // checker must accept both resolutions of the ambiguity…
+        let before = vec![
+            ev::<Counter>(0, CounterOp::Inc, 1, 0, 10),
+            ev::<Counter>(1, CounterOp::Get, 0, 0, 10),
+        ];
+        assert_eq!(check_linearizable(&Counter, &before), Ok(vec![1, 0]));
+        let after = vec![
+            ev::<Counter>(0, CounterOp::Inc, 1, 0, 10),
+            ev::<Counter>(1, CounterOp::Get, 1, 0, 10),
+        ];
+        assert_eq!(check_linearizable(&Counter, &after), Ok(vec![0, 1]));
+        // …but a response consistent with neither is a witness against.
+        let neither = vec![
+            ev::<Counter>(0, CounterOp::Inc, 1, 0, 10),
+            ev::<Counter>(1, CounterOp::Get, 2, 0, 10),
+        ];
+        assert_eq!(
+            check_linearizable(&Counter, &neither),
+            Err(LinearizeError::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn adversarial_witness_forces_backtracking() {
+        // All three ops are concurrent; a greedy left-to-right choice
+        // (push 1 first) dead-ends because the pop saw 2 on top with 1
+        // still below — the checker must backtrack to push-2-first.
+        let h = vec![
+            ev::<Stack>(0, StackOp::Push(1), StackResp::Pushed, 0, 10),
+            ev::<Stack>(1, StackOp::Push(2), StackResp::Pushed, 0, 10),
+            ev::<Stack>(2, StackOp::Pop, StackResp::Popped(Some(1)), 0, 10),
+        ];
+        let order = check_linearizable(&Stack, &h).expect("linearizable");
+        // The DFS tries push1 then push2 first, hits the dead end (top
+        // is 2, pop saw 1), and must back out of push2 before the pop.
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn wide_concurrent_rejection_terminates() {
+        // Six concurrent increments with a duplicated rank: no order can
+        // replay them, and the memoized dead-end set must keep the
+        // factorial search from blowing up.
+        let h: Vec<HistoryEvent<Counter>> = (0..6)
+            .map(|i| ev::<Counter>(i, CounterOp::Inc, [1, 2, 3, 3, 5, 6][i], 0, 100))
+            .collect();
+        assert_eq!(
+            check_linearizable(&Counter, &h),
+            Err(LinearizeError::NotLinearizable)
+        );
+    }
+
+    #[test]
+    fn non_linearizable_witness_rejected_despite_partial_orders() {
+        // Two sequential phases: phase one commits rank 1 to p0; in phase
+        // two a Get claims to still see 0. Any linearization putting the
+        // Get first violates real time ⇒ rejected.
+        let h = vec![
+            ev::<Counter>(0, CounterOp::Inc, 1, 0, 1),
+            ev::<Counter>(1, CounterOp::Get, 0, 5, 6),
+        ];
+        assert_eq!(
+            check_linearizable(&Counter, &h),
+            Err(LinearizeError::NotLinearizable)
+        );
     }
 }

@@ -125,6 +125,56 @@ impl OmegaRunData {
     }
 }
 
+/// Instant-wise leader agreement after stabilization: from time `from`
+/// on, any two correct timely processes that both output a *concrete*
+/// leader (not `?`) must name the same process. Returns one message per
+/// disagreeing pair (first disagreement only).
+///
+/// `from` must be a genuine stabilization point — after the last fault
+/// has played out plus a re-convergence margin — since a leader change
+/// (crash, churn) legitimately reaches the processes at different times.
+/// The E12 gauntlet guarantees this for `settle`; the model checker
+/// derives `from` from its decision window.
+pub fn agreement_violations(data: &OmegaRunData, from: u64) -> Vec<String> {
+    let procs: Vec<usize> = (0..data.n)
+        .filter(|&p| !data.crashed[p] && data.timely[p])
+        .collect();
+    let value_at = |p: usize, t: u64| -> i64 {
+        data.leader[p]
+            .iter()
+            .take_while(|&&(u, _)| u <= t)
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap_or(-1)
+    };
+    // Only leader-output changes can create or resolve a disagreement,
+    // so checking at each observation time ≥ `from` (plus `from` itself)
+    // is exhaustive over the suffix.
+    let mut times: Vec<u64> = procs
+        .iter()
+        .flat_map(|&p| data.leader[p].iter().map(|&(t, _)| t))
+        .filter(|&t| t >= from)
+        .collect();
+    times.push(from);
+    times.sort_unstable();
+    times.dedup();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for &t in &times {
+        for (i, &p) in procs.iter().enumerate() {
+            for &q in &procs[i + 1..] {
+                let (a, b) = (value_at(p, t), value_at(q, t));
+                if a >= 0 && b >= 0 && a != b && seen.insert((p, q)) {
+                    out.push(format!(
+                        "leader disagreement at t = {t}: leader_p{p} = p{a} but leader_p{q} = p{b}"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Result of checking Definition 5 (or Theorem 7) on one run.
 #[derive(Clone, Debug)]
 pub struct OmegaVerdict {
@@ -314,6 +364,24 @@ mod tests {
         assert!(lax.ok, "Def 5 allows an R leader: {:?}", lax.failures);
         let strict = check_spec(&d, SpecParams::default(), true);
         assert!(!strict.ok, "Thm 7 forbids an R leader");
+    }
+
+    #[test]
+    fn agreement_violations_finds_post_settle_splits() {
+        // Agreement holds from t = 500 on…
+        let d = two_proc_data(vec![(0, 0)], vec![(0, 1), (400, 0)]);
+        assert!(agreement_violations(&d, 500).is_empty());
+        // …but not from t = 300 (p1 still names p1 at 300).
+        let v = agreement_violations(&d, 300);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("t = 300"), "got {v:?}");
+        // `?` outputs never disagree with anyone.
+        let q = two_proc_data(vec![(0, 0)], vec![(0, -1)]);
+        assert!(agreement_violations(&q, 0).is_empty());
+        // Crashed and non-timely processes are exempt.
+        let mut c = two_proc_data(vec![(0, 0)], vec![(0, 1)]);
+        c.crashed[1] = true;
+        assert!(agreement_violations(&c, 0).is_empty());
     }
 
     #[test]

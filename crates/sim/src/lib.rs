@@ -100,7 +100,10 @@ pub use json::Json;
 pub use local::{Local, LocalVec};
 pub use nemesis::{FaultAction, FaultEvent, FaultPlan, FaultTarget, Nemesis, Trigger};
 pub use runner::{ProcReport, RunConfig, RunReport, Sim, SimBuilder, TaskOutcome};
-pub use schedule::{NemesisSchedule, Schedule, ScheduleCtl, ScheduleView};
+pub use schedule::{
+    Decision, DecisionLog, NemesisSchedule, Schedule, ScheduleCtl, ScheduleView, Scripted,
+    ScriptedWindow, Tapped,
+};
 pub use spawner::{stepper_as_blocking_task, TaskBody, TaskSpawner};
 pub use step::{Control, StepCtx, Stepper};
 pub use trace::{Obs, Trace};

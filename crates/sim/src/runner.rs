@@ -697,6 +697,26 @@ mod tests {
         assert_eq!(got, vec![1, 1, 0, 1, 1, 0, 1, 1, 0]);
     }
 
+    #[test]
+    fn scripted_nonrunnable_decision_falls_back() {
+        // A script naming a crashed process: the runner falls back to the
+        // next runnable process at or after the named id, wrapping.
+        let mut b = SimBuilder::new();
+        for p in 0..3 {
+            let pid = b.add_process(&format!("p{p}"));
+            b.add_task(pid, "main", move |env| loop {
+                env.tick()?;
+            });
+        }
+        let report = b
+            .build()
+            .run(RunConfig::new(6, Scripted::new(vec![ProcId(1)])).crash(0, ProcId(1)));
+        report.assert_no_panics();
+        let got: Vec<usize> = report.trace.steps.iter().map(|p| p.0).collect();
+        // Fallback from id 1 finds p2 first (1 is crashed), every slot.
+        assert_eq!(got, vec![2, 2, 2, 2, 2, 2]);
+    }
+
     /// Observes the step index, yields `yields` times, then finishes.
     struct CountingStepper {
         yields: u64,

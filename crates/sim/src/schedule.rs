@@ -53,6 +53,27 @@ impl ScheduleView<'_> {
     pub fn any_runnable(&self) -> bool {
         self.runnable.iter().any(|&r| r)
     }
+
+    /// The runnable processes, in id order.
+    pub fn runnable_set(&self) -> Vec<ProcId> {
+        (0..self.n)
+            .filter(|&p| self.runnable[p])
+            .map(ProcId)
+            .collect()
+    }
+
+    /// The runnable set as a bitmask: bit `p` is set iff `p` is runnable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64` (the model checker that consumes masks only
+    /// explores small systems).
+    pub fn runnable_mask(&self) -> u64 {
+        assert!(self.n <= 64, "runnable_mask supports at most 64 processes");
+        (0..self.n)
+            .filter(|&p| self.runnable[p])
+            .fold(0u64, |m, p| m | (1 << p))
+    }
 }
 
 /// Decides which process takes the step at each time.
@@ -68,6 +89,16 @@ pub trait Schedule: Send {
     /// tests always re-measure timeliness from the trace.
     fn intended_timely(&self, n: usize) -> Vec<ProcId> {
         (0..n).map(ProcId).collect()
+    }
+}
+
+impl Schedule for Box<dyn Schedule> {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        (**self).next(view)
+    }
+
+    fn intended_timely(&self, n: usize) -> Vec<ProcId> {
+        (**self).intended_timely(n)
     }
 }
 
@@ -405,6 +436,135 @@ impl Schedule for Scripted {
     }
 }
 
+/// One recorded scheduler decision point: the time, what was runnable,
+/// and which process the schedule chose (before any runner fallback).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// Global time of the decision.
+    pub time: u64,
+    /// Runnable set at the decision, as a [`ScheduleView::runnable_mask`].
+    pub runnable: u64,
+    /// The process the schedule returned.
+    pub chosen: ProcId,
+}
+
+/// Shared log of scheduler decision points, filled by [`Tapped`].
+///
+/// This is the model checker's *validation tap*: the checker predicts the
+/// runnable set at every decision slot of its enumerated window
+/// analytically, and after the run asserts the prediction against what
+/// the engine actually saw. Cloning yields another handle to the same
+/// log.
+#[derive(Clone, Default)]
+pub struct DecisionLog {
+    inner: Arc<Mutex<Vec<Decision>>>,
+}
+
+impl DecisionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded decisions.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no decision has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Copies out all recorded decisions, in decision order.
+    pub fn snapshot(&self) -> Vec<Decision> {
+        self.inner.lock().clone()
+    }
+
+    fn push(&self, d: Decision) {
+        self.inner.lock().push(d);
+    }
+}
+
+/// Wraps a schedule and records every decision point into a
+/// [`DecisionLog`] — the decision-point hook of the model checker.
+///
+/// The wrapper is transparent: it delegates `next` to the inner schedule
+/// and records `(time, runnable mask, chosen)` on the way out, so a
+/// tapped run is step-for-step identical to an untapped one.
+pub struct Tapped<S> {
+    inner: S,
+    log: DecisionLog,
+}
+
+impl<S> Tapped<S> {
+    /// Wraps `inner`, recording its decisions into `log`.
+    pub fn new(inner: S, log: DecisionLog) -> Self {
+        Tapped { inner, log }
+    }
+}
+
+impl<S: Schedule> Schedule for Tapped<S> {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        let p = self.inner.next(view);
+        self.log.push(Decision {
+            time: view.time,
+            runnable: view.runnable_mask(),
+            chosen: p,
+        });
+        p
+    }
+
+    fn intended_timely(&self, n: usize) -> Vec<ProcId> {
+        self.inner.intended_timely(n)
+    }
+}
+
+/// Plays an explicit script over a window of decision slots and delegates
+/// to an inner schedule everywhere else.
+///
+/// At times `start ≤ t < start + script.len()` the decision is
+/// `script[t - start]`; before and after the window the inner schedule
+/// decides. This is how the model checker splices one enumerated decision
+/// window into an otherwise deterministic background schedule: the system
+/// warms up under `inner`, the window perturbs it, and the effects unfold
+/// under `inner` again until the horizon.
+pub struct ScriptedWindow<S> {
+    start: u64,
+    script: Vec<ProcId>,
+    inner: S,
+}
+
+impl<S> ScriptedWindow<S> {
+    /// Creates the schedule; the window covers
+    /// `[start, start + script.len())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `script` is empty.
+    pub fn new(start: u64, script: Vec<ProcId>, inner: S) -> Self {
+        assert!(!script.is_empty(), "window script must be non-empty");
+        ScriptedWindow {
+            start,
+            script,
+            inner,
+        }
+    }
+}
+
+impl<S: Schedule> Schedule for ScriptedWindow<S> {
+    fn next(&mut self, view: &ScheduleView<'_>) -> ProcId {
+        match view.time.checked_sub(self.start) {
+            Some(k) if (k as usize) < self.script.len() => self.script[k as usize],
+            _ => self.inner.next(view),
+        }
+    }
+
+    fn intended_timely(&self, n: usize) -> Vec<ProcId> {
+        self.inner.intended_timely(n)
+    }
+}
+
 #[derive(Default)]
 struct CtlState {
     demoted: BTreeSet<usize>,
@@ -656,6 +816,78 @@ mod tests {
         let r = [true, true];
         let seq: Vec<usize> = (0..5).map(|t| s.next(&view(&r, t)).0).collect();
         assert_eq!(seq, vec![1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn runnable_set_and_mask() {
+        let v = view(&[true, false, true], 0);
+        assert_eq!(v.runnable_set(), vec![ProcId(0), ProcId(2)]);
+        assert_eq!(v.runnable_mask(), 0b101);
+        let none = view(&[false, false], 0);
+        assert!(none.runnable_set().is_empty());
+        assert_eq!(none.runnable_mask(), 0);
+    }
+
+    #[test]
+    fn scripted_exhausted_mid_run_repeats_cyclically() {
+        // The decision list is shorter than the run: once exhausted it
+        // wraps, so a k-entry script denotes the infinite periodic
+        // schedule, which is what shrunk repro scripts replay under.
+        let mut s = Scripted::new(vec![ProcId(2), ProcId(0), ProcId(1)]);
+        let r = [true, true, true];
+        let seq: Vec<usize> = (0..8).map(|t| s.next(&view(&r, t)).0).collect();
+        assert_eq!(seq, vec![2, 0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn scripted_ignores_runnability() {
+        // `Scripted` returns the scripted id even when that process is
+        // not runnable; the *runner* applies the id-order fallback (see
+        // the runner test `scripted_nonrunnable_decision_falls_back`).
+        let mut s = Scripted::new(vec![ProcId(1)]);
+        let r = [true, false];
+        assert_eq!(s.next(&view(&r, 0)), ProcId(1));
+    }
+
+    #[test]
+    fn tapped_records_decisions_transparently() {
+        let log = DecisionLog::new();
+        let mut tapped = Tapped::new(RoundRobin::new(), log.clone());
+        let mut plain = RoundRobin::new();
+        let r = [true, false, true];
+        for t in 0..4 {
+            assert_eq!(tapped.next(&view(&r, t)), plain.next(&view(&r, t)));
+        }
+        let ds = log.snapshot();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(
+            ds[0],
+            Decision {
+                time: 0,
+                runnable: 0b101,
+                chosen: ProcId(0),
+            }
+        );
+        assert_eq!(ds[1].chosen, ProcId(2));
+        assert!(ds.iter().all(|d| d.runnable == 0b101));
+    }
+
+    #[test]
+    fn scripted_window_splices_into_inner() {
+        let mut s = ScriptedWindow::new(3, vec![ProcId(2), ProcId(2)], RoundRobin::new());
+        let r = [true, true, true];
+        let seq: Vec<usize> = (0..8).map(|t| s.next(&view(&r, t)).0).collect();
+        // Round-robin before the window, the script inside it, and the
+        // inner schedule resuming where it left off after it.
+        assert_eq!(&seq[..3], &[0, 1, 2]);
+        assert_eq!(&seq[3..5], &[2, 2]);
+        assert_eq!(&seq[5..], &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "window script must be non-empty")]
+    fn scripted_window_rejects_empty_script() {
+        let _ = ScriptedWindow::new(0, Vec::new(), RoundRobin::new());
     }
 
     #[test]

@@ -29,5 +29,5 @@ pub mod object;
 pub mod qa;
 pub mod tbwf;
 
-pub use object::{Counter, ObjectType, Outcome};
+pub use object::{replay, Counter, ObjectType, Outcome};
 pub use qa::{QaObject, QaSession};

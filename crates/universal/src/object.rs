@@ -56,6 +56,22 @@ impl<R> Outcome<R> {
     }
 }
 
+/// Replays `ops` sequentially from the initial state — the reference
+/// execution that linearizability oracles compare against. Returns the
+/// final state and the response of each operation, in order.
+///
+/// This is the ground truth of the whole construction: a history is
+/// correct iff it can be reordered (respecting real-time precedence)
+/// into some `replay` of its operations. The model checker also folds
+/// the replayed terminal state into its run fingerprints, so runs that
+/// differ only in scheduling noise but agree on the abstract object
+/// state collapse into one equivalence class.
+pub fn replay<T: ObjectType>(ty: &T, ops: &[T::Op]) -> (T::State, Vec<T::Resp>) {
+    let mut state = ty.initial();
+    let resps = ops.iter().map(|op| ty.apply(&mut state, op)).collect();
+    (state, resps)
+}
+
 /// A shared counter: the canonical test type.
 ///
 /// `Inc` returns the value *after* the increment, so in any linearizable
@@ -106,6 +122,24 @@ mod tests {
         assert_eq!(c.apply(&mut s, &CounterOp::Inc), 2);
         assert_eq!(c.apply(&mut s, &CounterOp::Get), 2);
         assert_eq!(s, 2);
+    }
+
+    #[test]
+    fn replay_returns_every_response_in_order() {
+        let (state, resps) = replay(
+            &Counter,
+            &[
+                CounterOp::Inc,
+                CounterOp::Get,
+                CounterOp::Inc,
+                CounterOp::Inc,
+            ],
+        );
+        assert_eq!(state, 3);
+        assert_eq!(resps, vec![1, 1, 2, 3]);
+        let (empty_state, empty_resps) = replay(&Counter, &[]);
+        assert_eq!(empty_state, 0);
+        assert!(empty_resps.is_empty());
     }
 
     #[test]
